@@ -1,0 +1,26 @@
+"""Shared benchmark helper: run a figure function once, time it,
+print the regenerated rows, and record key aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    def _run(figure_fn, check=None, **kwargs):
+        result = benchmark.pedantic(
+            lambda: figure_fn(**kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.format_table())
+            if result.paper_says:
+                print(f"(paper: {result.paper_says})")
+        for key, value in result.summary.items():
+            benchmark.extra_info[key] = round(value, 4)
+        if check is not None:
+            check(result)
+        return result
+
+    return _run

@@ -1,0 +1,16 @@
+"""Extra experiment: 8-core contention (the paper's FS-mode setting for
+the multithreaded suites)."""
+
+from repro.harness.figures import multicore
+
+
+def test_multicore_contention(run_figure):
+    def check(result):
+        s = result.summary
+        # overhead stays bounded under 8-way MC/WPQ contention
+        # (SPLASH3-class writers approach the PMEM write bandwidth)
+        assert 1.0 <= s["gmean_8core"] < 1.9
+        # contention does not make persistence free
+        assert s["gmean_8core"] >= s["gmean_1core"] * 0.9
+
+    run_figure(multicore, check=check, n_insts=8_000)

@@ -1,0 +1,26 @@
+"""Extra experiment: multi-threaded recovery sweep (Section VIII)."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.recovery.multithread import ThreadSpec, check_threaded_crash_consistency
+from tests.test_recovery_multithread import THREADS, build_drf_module
+
+
+def test_multithreaded_recovery_sweep(benchmark, capsys):
+    module = build_drf_module()
+    compile_module(module)
+
+    def sweep():
+        return check_threaded_crash_consistency(module, THREADS, stride=7)
+
+    checked, divergences = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\nMulti-threaded recovery: {checked} failure points across two "
+            f"DRF threads, {len(divergences)} divergences"
+        )
+    benchmark.extra_info["points"] = checked
+    benchmark.extra_info["divergences"] = len(divergences)
+    assert checked > 20
+    assert divergences == []

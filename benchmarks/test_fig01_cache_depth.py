@@ -1,0 +1,16 @@
+"""Figure 1: CXL PMEM vs CXL DRAM slowdown with 2-5 cache levels."""
+
+from repro.harness.figures import fig01
+
+N = 12_000
+
+
+def test_fig01_cache_depth(run_figure):
+    def check(result):
+        g = result.rows[-1]  # [All gmean] row
+        # slowdown falls monotonically with hierarchy depth
+        assert g[1] > g[2] > g[4]
+        assert g[1] > 1.3          # shallow hierarchy hurts
+        assert g[4] < g[1] * 0.85  # deep hierarchy recovers much of it
+
+    run_figure(fig01, check=check, n_insts=N)

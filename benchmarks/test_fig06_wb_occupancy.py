@@ -1,0 +1,17 @@
+"""Figure 6: L1D write-buffer occupancy, baseline vs cWSP."""
+
+from repro.harness.figures import fig06
+
+N = 12_000
+
+
+def test_fig06_wb_occupancy(run_figure):
+    def check(result):
+        base = result.summary["baseline_mean"]
+        cw = result.summary["cwsp_mean"]
+        # both tiny (paper: ~0.39 entries) and close to each other:
+        # the WB delaying fix adds no pressure
+        assert base < 2.0 and cw < 2.0
+        assert cw < base * 2.0 + 0.2
+
+    run_figure(fig06, check=check, n_insts=N)

@@ -1,0 +1,13 @@
+"""Figure 8: loads hitting a pending WPQ entry per million instructions."""
+
+from repro.harness.figures import fig08
+
+N = 12_000
+
+
+def test_fig08_wpq_hits(run_figure):
+    def check(result):
+        # paper: ~0.98 HPMI -- negligible; allow generous headroom
+        assert result.summary["mean_hpmi"] < 200.0
+
+    run_figure(fig08, check=check, n_insts=N)

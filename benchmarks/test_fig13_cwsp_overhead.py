@@ -1,0 +1,22 @@
+"""Figure 13: the headline result -- cWSP's normalized slowdown."""
+
+from repro.harness.figures import fig13
+from repro.workloads.profiles import PROFILES
+
+N = 15_000
+
+
+def test_fig13_cwsp_overhead(run_figure):
+    def check(result):
+        g = result.summary["all_gmean"]
+        assert 1.0 < g < 1.15  # paper: 1.06
+        # SPLASH3 is the worst suite (short regions + write bursts)
+        suites = {
+            row[0]: row[1] for row in result.rows if str(row[0]).startswith("[")
+        }
+        splash = suites["[SPLASH3]"]
+        assert all(
+            splash >= v for k, v in suites.items() if k not in ("[SPLASH3]", "[All gmean]")
+        )
+
+    run_figure(fig13, check=check, n_insts=N)

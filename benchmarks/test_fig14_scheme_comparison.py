@@ -1,0 +1,19 @@
+"""Figure 14: cWSP vs ReplayCache vs Capri (4 and 32 GB/s paths)."""
+
+from repro.harness.figures import fig14
+
+N = 12_000
+
+
+def test_fig14_scheme_comparison(run_figure):
+    def check(result):
+        s = result.summary
+        # ordering: ReplayCache worst, then Capri-4GB, then cWSP;
+        # ideal bandwidth brings Capri roughly on par with cWSP
+        assert s["replaycache"] > s["capri_4gb"] > s["cwsp_4gb"]
+        assert s["capri_32gb"] < s["capri_4gb"] * 0.75
+        assert s["capri_32gb"] < 1.25
+        assert s["cwsp_4gb"] < 1.15
+        assert s["replaycache"] > 2.0  # paper: 4.3x
+
+    run_figure(fig14, check=check, n_insts=N)

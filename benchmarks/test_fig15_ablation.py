@@ -1,0 +1,23 @@
+"""Figure 15: the per-optimization ablation ladder."""
+
+from repro.harness.figures import fig15
+
+N = 12_000
+
+
+def test_fig15_ablation(run_figure):
+    def check(result):
+        s = result.summary
+        rf = s["+Region Formation"]
+        pp = s["+Persist Path"]
+        final = s["+Pruning (cWSP)"]
+        # region formation alone is cheap; the raw persist path costs
+        # more; WB/WPQ delaying are ~free; pruning recovers most of it
+        assert 1.0 < rf < 1.12          # paper: 4%
+        assert pp > rf                   # paper: 10%
+        assert abs(s["+MC Speculation"] - pp) < 0.05
+        assert abs(s["+WB Delaying"] - s["+MC Speculation"]) < 0.02
+        assert abs(s["+WPQ Delaying"] - s["+WB Delaying"]) < 0.02
+        assert final < pp                # pruning pays off (paper: 6%)
+
+    run_figure(fig15, check=check, n_insts=N)

@@ -1,0 +1,14 @@
+"""Figure 17: cWSP across CXL devices (memory-intensive subset)."""
+
+from repro.harness.figures import fig17
+
+N = 12_000
+
+
+def test_fig17_cxl_sweep(run_figure):
+    def check(result):
+        s = result.summary
+        # low overhead on every device (paper: ~4% average)
+        assert all(1.0 <= v < 1.25 for v in s.values())
+
+    run_figure(fig17, check=check, n_insts=N)

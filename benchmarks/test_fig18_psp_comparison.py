@@ -1,0 +1,17 @@
+"""Figure 18: cWSP (DRAM as LLC) vs ideal PSP (DRAM disabled)."""
+
+from repro.harness.figures import fig18
+
+N = 12_000
+
+
+def test_fig18_psp_comparison(run_figure):
+    def check(result):
+        s = result.summary
+        # paper: cWSP ~3% vs PSP ~52%; shape: PSP pays NVM latency on
+        # every LLC miss while cWSP stays cheap
+        assert s["cwsp"] < 1.15
+        assert s["psp"] > 1.10
+        assert s["psp"] > s["cwsp"] + 0.05
+
+    run_figure(fig18, check=check, n_insts=N)

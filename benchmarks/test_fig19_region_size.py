@@ -1,0 +1,18 @@
+"""Figure 19: average dynamic instructions per idempotent region."""
+
+from repro.harness.figures import fig19
+from repro.workloads.profiles import PROFILES, apps_in_suite
+
+N = 15_000
+
+
+def test_fig19_region_size(run_figure):
+    def check(result):
+        mean = result.summary["mean_insts_per_region"]
+        assert 30.0 < mean < 50.0  # paper: 38.15
+        by_app = {row[0]: row[1] for row in result.rows}
+        splash = [by_app[a] for a in apps_in_suite("SPLASH3")]
+        cpu = [by_app[a] for a in apps_in_suite("CPU2006")]
+        assert max(splash) < min(cpu)  # SPLASH3 regions are shortest
+
+    run_figure(fig19, check=check, n_insts=N)

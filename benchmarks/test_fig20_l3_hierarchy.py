@@ -1,0 +1,13 @@
+"""Figure 20: cWSP with an added L3 (deeper SRAM hierarchy)."""
+
+from repro.harness.figures import fig20
+
+N = 12_000
+
+
+def test_fig20_l3_hierarchy(run_figure):
+    def check(result):
+        # paper: still low, 8% on average
+        assert 1.0 < result.summary["all_gmean"] < 1.2
+
+    run_figure(fig20, check=check, n_insts=N)

@@ -1,0 +1,17 @@
+"""Figure 21: persist path bandwidth sweep, 1 to 32 GB/s."""
+
+from repro.harness.figures import fig21
+
+N = 12_000
+
+
+def test_fig21_bandwidth_sweep(run_figure):
+    def check(result):
+        s = result.summary
+        # overhead falls as bandwidth rises, then saturates (8-byte
+        # granularity keeps the demand low)
+        assert s["1GB"] > s["4GB"] > s["32GB"] * 0.99
+        assert s["1GB"] > 1.2
+        assert s["10GB"] - s["32GB"] < 0.05  # flat beyond 10GB/s
+
+    run_figure(fig21, check=check, n_insts=N)

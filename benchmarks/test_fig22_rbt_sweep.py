@@ -1,0 +1,17 @@
+"""Figure 22: RBT size sensitivity."""
+
+from repro.harness.figures import fig22
+
+N = 12_000
+
+
+def test_fig22_rbt_sweep(run_figure):
+    def check(result):
+        s = result.summary
+        # paper: 11% at RBT-8, 6% at 16, 4% at 32
+        assert s["RBT-8"] >= s["RBT-16"] >= s["RBT-32"] * 0.99
+        splash = next(r for r in result.rows if r[0] == "[SPLASH3]")
+        alls = next(r for r in result.rows if r[0] == "[All gmean]")
+        assert splash[1] > alls[1]  # SPLASH3 hurts most at RBT-8
+
+    run_figure(fig22, check=check, n_insts=N)

@@ -1,0 +1,15 @@
+"""Figure 23: persist path latency sweep, 10-40ns."""
+
+from repro.harness.figures import fig23
+
+N = 12_000
+
+
+def test_fig23_latency_sweep(run_figure):
+    def check(result):
+        s = result.summary
+        # nearly flat: the RBT overlaps path latency with execution
+        assert s["Lat-40"] - s["Lat-10"] < 0.06
+        assert all(v < 1.2 for v in s.values())
+
+    run_figure(fig23, check=check, n_insts=N)

@@ -1,0 +1,15 @@
+"""Figure 24: L1D write-buffer size sensitivity."""
+
+from repro.harness.figures import fig24
+
+N = 12_000
+
+
+def test_fig24_wb_sweep(run_figure):
+    def check(result):
+        s = result.summary
+        # flat regardless of WB size (the persist path is faster than
+        # the regular path, so WB delaying almost never triggers)
+        assert abs(s["WB-8"] - s["WB-32"]) < 0.03
+
+    run_figure(fig24, check=check, n_insts=N)

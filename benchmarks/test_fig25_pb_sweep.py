@@ -1,0 +1,15 @@
+"""Figure 25: persist buffer (PB) size sensitivity."""
+
+from repro.harness.figures import fig25
+
+N = 12_000
+
+
+def test_fig25_pb_sweep(run_figure):
+    def check(result):
+        s = result.summary
+        # insensitive: even PB-20 costs only a little more (paper: 7%)
+        assert s["PB-20"] >= s["PB-60"] * 0.99
+        assert s["PB-20"] - s["PB-60"] < 0.08
+
+    run_figure(fig25, check=check, n_insts=N)

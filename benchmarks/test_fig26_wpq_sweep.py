@@ -1,0 +1,15 @@
+"""Figure 26: NVM WPQ size sensitivity."""
+
+from repro.harness.figures import fig26
+
+N = 12_000
+
+
+def test_fig26_wpq_sweep(run_figure):
+    def check(result):
+        s = result.summary
+        # paper: 11% at WPQ-8 (SPLASH3 spikes), flat at 24 and beyond
+        assert s["WPQ-8"] >= s["WPQ-24"] * 0.99
+        assert abs(s["WPQ-24"] - s["WPQ-32"]) < 0.03
+
+    run_figure(fig26, check=check, n_insts=N)

@@ -1,0 +1,14 @@
+"""Figure 27: NVM technology sweep (PMEM / STT-MRAM / ReRAM)."""
+
+from repro.harness.figures import fig27
+
+N = 12_000
+
+
+def test_fig27_nvm_tech(run_figure):
+    def check(result):
+        s = result.summary
+        # low overhead on all three technologies (paper: <= 8%)
+        assert all(1.0 <= v < 1.2 for v in s.values())
+
+    run_figure(fig27, check=check, n_insts=N)

@@ -1,0 +1,12 @@
+"""Section IX-N: cWSP's 176-byte hardware storage overhead."""
+
+from repro.harness.figures import hardware_overhead
+
+
+def test_hardware_overhead(run_figure):
+    def check(result):
+        assert result.summary["rbt_bytes"] == 176.0  # 16 entries x 11B
+        rbt = next(r for r in result.rows if r[0] == "RBT")
+        assert rbt[1] == 16 and rbt[2] == 11
+
+    run_figure(hardware_overhead, check=check)

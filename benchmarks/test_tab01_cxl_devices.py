@@ -1,0 +1,14 @@
+"""Table I: the CXL memory devices modelled."""
+
+from repro.harness.figures import tab01
+
+
+def test_tab01_cxl_devices(run_figure):
+    def check(result):
+        devices = {row[0]: row for row in result.rows}
+        assert set(devices) == {"CXL-A", "CXL-B", "CXL-C", "CXL-D"}
+        # CXL-A is the fastest NVDIMM; CXL-D the bandwidth-limited PMEM
+        assert devices["CXL-A"][1] < devices["CXL-C"][1]
+        assert devices["CXL-D"][3] < devices["CXL-B"][3]
+
+    run_figure(tab01, check=check)

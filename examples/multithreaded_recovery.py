@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Section VIII live: multi-threaded whole-system persistence.
+
+Two DRF threads share an atomic counter and fill private arrays.  Power
+failure strikes mid-run; each thread then recovers *independently* from
+its own oldest unpersisted region (no cross-thread happens-before
+tracking), exactly as the paper argues.  Checkpoint storage is
+per-core, which this demo exercises: both threads run the same function
+with different arguments.
+
+Run:  python examples/multithreaded_recovery.py
+"""
+
+from repro.compiler import compile_module
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.values import Reg
+from repro.recovery import PersistenceConfig
+from repro.recovery.multithread import (
+    ThreadSpec,
+    ThreadedExecution,
+    check_threaded_crash_consistency,
+)
+
+SHARED = 0x08A0_0000
+ARRAYS = 0x08B0_0000
+ITERS = 8
+
+
+def build() -> Module:
+    module = Module("mt-demo")
+    b = IRBuilder(module)
+    b.function("worker", ["tid"])
+    arr = b.add(ARRAYS, b.shl(Reg("tid"), 10), Reg("arr"))
+    ctr = b.const(SHARED, Reg("ctr"))
+    b.const(0, Reg("i"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    fin = b.add_block("fin")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), ITERS)
+    b.cbr(c, body, fin)
+    b.set_block(body)
+    b.atomic("add", Reg("ctr"), 1)
+    slot = b.add(Reg("arr"), b.shl(Reg("i"), 3))
+    old = b.load(slot)
+    b.store(b.add(old, b.mul(Reg("i"), 5)), slot)
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(fin)
+    total = b.load(Reg("ctr"))
+    b.out(total)
+    b.ret(total)
+    return module
+
+
+def main() -> None:
+    module = build()
+    report = compile_module(module)
+    print(f"compiled: {report.summary()}")
+    threads = [ThreadSpec("worker", (0,)), ThreadSpec("worker", (1,))]
+    execu = ThreadedExecution(module, threads)
+
+    ref = execu.run()
+    print(f"failure-free: shared counter = {ref.memory.load(SHARED)}, "
+          f"thread outputs = {ref.outputs}\n")
+
+    for point in (20, 80, 200):
+        interrupted = execu.run(fail_after_event=point)
+        if interrupted.completed:
+            print(f"failure after event {point}: run already finished")
+            continue
+        ptrs = interrupted.model.thread_recovery_ptr
+        where = ", ".join(
+            "restart" if p is None else f"@{p[0]}#{p[1]}" for p in ptrs
+        )
+        resumed = execu.recover_and_resume(interrupted.model)
+        ok = resumed.memory.load(SHARED) == ref.memory.load(SHARED)
+        print(
+            f"failure after event {point:3d}: per-thread recovery points "
+            f"[{where}] -> counter {resumed.memory.load(SHARED)} "
+            f"({'OK' if ok else 'MISMATCH'})"
+        )
+
+    print("\nexhaustive sweep under NUMA-skewed controllers:")
+    checked, divergences = check_threaded_crash_consistency(
+        module,
+        threads,
+        stride=5,
+        config=PersistenceConfig(drain_per_step=0.3, mc_skew=(0, 5)),
+    )
+    print(f"  {checked} failure points, {len(divergences)} divergences")
+    assert not divergences
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Program analyses over the mini-IR.
+
+These play the role of LLVM's analyses in the paper's compiler:
+``alias`` stands in for LLVM alias analysis (Section IV-A), ``liveness``
+for LLVM liveness analysis (Section IV-B), and ``dominators``/``loops``
+support region-boundary placement at loop headers.
+"""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, find_loops
+from repro.analysis.liveness import Liveness
+from repro.analysis.alias import AliasAnalysis, Location, TOP_SITE
+from repro.analysis.reaching import ReachingDefs
+
+__all__ = [
+    "AliasAnalysis",
+    "CFG",
+    "DominatorTree",
+    "Liveness",
+    "Location",
+    "Loop",
+    "ReachingDefs",
+    "TOP_SITE",
+    "find_loops",
+]

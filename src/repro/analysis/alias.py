@@ -1,0 +1,255 @@
+"""Allocation-site alias analysis.
+
+Stands in for LLVM's alias analysis in the cWSP compiler's
+antidependence detection (Section IV-A of the paper).  Every pointer
+value is abstracted as a :class:`Location`: an allocation *site* plus an
+optional byte *offset*.
+
+Sites:
+
+- ``alloca:<uid>`` -- a stack allocation site;
+- ``heap:<uid>`` -- an ``nv_malloc``/``sbrk`` intrinsic call site;
+- ``abs`` -- absolute addresses materialized from constants (module
+  globals);
+- ``TOP_SITE`` -- unknown (loaded pointers, parameters, call results).
+
+Two locations may alias unless they have distinct known sites, or the
+same site with distinct known offsets.  As in any allocation-site
+analysis, programs must not forge pointers into one region from
+constants belonging to another (the standard C assumption that distinct
+objects do not alias).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Call,
+    Checkpoint,
+    Const,
+    Instr,
+    Load,
+    Store,
+)
+from repro.ir.values import Imm, Reg
+
+TOP_SITE = "top"
+#: Lattice bottom: "no value yet on this path" during the fixpoint.
+#: Joins as the identity; never survives to a use in a well-formed
+#: (defined-before-use) program.
+BOTTOM_SITE = "bottom"
+
+_HEAP_INTRINSICS = ("nv_malloc", "sbrk")
+
+
+class Location:
+    """Abstract memory location: (site, offset); offset None = unknown."""
+
+    __slots__ = ("site", "offset")
+
+    def __init__(self, site: str, offset: Optional[int]) -> None:
+        self.site = site
+        self.offset = offset
+
+    def shifted(self, delta: Optional[int]) -> "Location":
+        """This location displaced by *delta* bytes (None = unknown)."""
+        if self.offset is None or delta is None:
+            return Location(self.site, None)
+        return Location(self.site, self.offset + delta)
+
+    def may_alias(self, other: "Location") -> bool:
+        if self.site in (TOP_SITE, BOTTOM_SITE) or other.site in (TOP_SITE, BOTTOM_SITE):
+            return True  # unknown (and never-computed) locations: be safe
+        if self.site != other.site:
+            return False
+        if self.offset is None or other.offset is None:
+            return True
+        # 8-byte accesses at 8-byte-aligned addresses: distinct words
+        # are distinct locations.
+        return self.offset == other.offset
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Location)
+            and other.site == self.site
+            and other.offset == self.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.site, self.offset))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        off = "?" if self.offset is None else self.offset
+        return f"{self.site}+{off}"
+
+
+TOP = Location(TOP_SITE, None)
+BOTTOM = Location(BOTTOM_SITE, None)
+
+Env = Dict[Reg, Location]
+
+
+def _join_loc(a: Location, b: Location) -> Location:
+    if a.site == BOTTOM_SITE:
+        return b
+    if b.site == BOTTOM_SITE:
+        return a
+    if a.site != b.site:
+        return TOP
+    if a.offset == b.offset:
+        return a
+    return Location(a.site, None)
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    out: Env = {}
+    for reg, loc in a.items():
+        other = b.get(reg)
+        if other is None:
+            out[reg] = Location(loc.site, loc.offset)
+        else:
+            out[reg] = _join_loc(loc, other)
+    for reg, loc in b.items():
+        if reg not in a:
+            out[reg] = loc
+    return out
+
+
+class AliasAnalysis:
+    """Computes the abstract :class:`Location` of every memory access.
+
+    ``location_of[uid]`` gives the accessed location for each ``load``,
+    ``store``, and ``atomic`` instruction (checkpoints are excluded: the
+    compiler-managed checkpoint region is disjoint from program data by
+    construction).
+    """
+
+    def __init__(self, fn: Function, cfg: CFG | None = None) -> None:
+        self.fn = fn
+        self.cfg = cfg if cfg is not None else CFG(fn)
+        self.location_of: Dict[int, Location] = {}
+        self._block_in: Dict[str, Env] = {name: {} for name in fn.blocks}
+        entry_env: Env = {p: TOP for p in fn.params}
+        self._block_in[self.cfg.entry] = entry_env
+        self._solve()
+        self._record_accesses()
+
+    # ------------------------------------------------------------------
+    def _transfer_instr(self, env: Env, instr: Instr) -> None:
+        cls = type(instr)
+        if cls is Alloca:
+            env[instr.rd] = Location(f"alloca:{instr.uid}", 0)
+        elif cls is Const:
+            env[instr.rd] = Location("abs", instr.value)
+        elif cls is BinOp:
+            env[instr.rd] = self._binop_loc(env, instr)
+        elif cls is Call:
+            if instr.rd is not None:
+                if instr.callee in _HEAP_INTRINSICS:
+                    env[instr.rd] = Location(f"heap:{instr.uid}", 0)
+                else:
+                    env[instr.rd] = TOP
+        else:
+            d = instr.dest()
+            if d is not None:
+                env[d] = TOP  # loads, atomics: value unknown
+
+    def _binop_loc(self, env: Env, instr: BinOp) -> Location:
+        lhs = instr.lhs
+        rhs = instr.rhs
+        lloc = env.get(lhs, BOTTOM) if isinstance(lhs, Reg) else Location("abs", lhs.value)
+        rloc = env.get(rhs, BOTTOM) if isinstance(rhs, Reg) else Location("abs", rhs.value)
+        if lloc.site == BOTTOM_SITE or rloc.site == BOTTOM_SITE:
+            # An operand with no value yet (unexplored back edge):
+            # produce bottom so the real value wins at the join.
+            return BOTTOM
+        labs = lloc.site == "abs" and lloc.offset is not None
+        rabs = rloc.site == "abs" and rloc.offset is not None
+        if instr.op == "add":
+            if rabs:
+                return lloc.shifted(rloc.offset)
+            if labs:
+                return rloc.shifted(lloc.offset)
+            # pointer + unknown amount: stays within its site
+            if lloc.site not in (TOP_SITE, "abs"):
+                return Location(lloc.site, None)
+            if rloc.site not in (TOP_SITE, "abs"):
+                return Location(rloc.site, None)
+            return TOP
+        if instr.op == "sub":
+            if rabs:
+                return lloc.shifted(-rloc.offset if rloc.offset is not None else None)
+            if lloc.site not in (TOP_SITE, "abs"):
+                return Location(lloc.site, None)
+            return TOP
+        if labs and rabs:
+            # constant folding keeps absolute addresses precise
+            from repro.ir.interpreter import eval_binop
+
+            try:
+                return Location("abs", eval_binop(instr.op, lloc.offset, rloc.offset))
+            except Exception:
+                return TOP
+        # other arithmetic on a pointer stays within its site
+        if lloc.site not in (TOP_SITE, "abs"):
+            return Location(lloc.site, None)
+        return TOP
+
+    def _solve(self) -> None:
+        order = self.cfg.reverse_postorder()
+        changed = True
+        while changed:
+            changed = False
+            for name in order:
+                if name == self.cfg.entry:
+                    continue
+                env: Env = {}
+                first = True
+                for pred in self.cfg.predecessors[name]:
+                    pred_out = dict(self._block_in[pred])
+                    for instr in self.fn.blocks[pred].instrs:
+                        self._transfer_instr(pred_out, instr)
+                    if first:
+                        env = pred_out
+                        first = False
+                    else:
+                        env = _join_env(env, pred_out)
+                if env != self._block_in[name]:
+                    self._block_in[name] = env
+                    changed = True
+
+    def _record_accesses(self) -> None:
+        for name, block in self.fn.blocks.items():
+            env = dict(self._block_in[name])
+            for instr in block.instrs:
+                cls = type(instr)
+                if cls is Load or cls is Store:
+                    base = instr.addr
+                    loc = (
+                        env.get(base, TOP)
+                        if isinstance(base, Reg)
+                        else Location("abs", base.value)
+                    )
+                    self.location_of[instr.uid] = loc.shifted(instr.offset)
+                elif cls is AtomicRMW:
+                    base = instr.addr
+                    loc = (
+                        env.get(base, TOP)
+                        if isinstance(base, Reg)
+                        else Location("abs", base.value)
+                    )
+                    self.location_of[instr.uid] = loc
+                self._transfer_instr(env, instr)
+
+    # ------------------------------------------------------------------
+    def may_alias(self, uid_a: int, uid_b: int) -> bool:
+        """May the accesses of instructions *uid_a* and *uid_b* overlap?"""
+        a = self.location_of.get(uid_a, TOP)
+        b = self.location_of.get(uid_b, TOP)
+        return a.may_alias(b)

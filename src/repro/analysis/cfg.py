@@ -1,0 +1,67 @@
+"""Control-flow graph utilities for a function."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, CondBranch, Ret
+
+
+class CFG:
+    """Successor/predecessor maps and traversal orders for a function.
+
+    Built once per pass; any mutation of the function's control flow
+    invalidates it (rebuild after inserting blocks or terminators).
+    """
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.successors: Dict[str, List[str]] = {}
+        self.predecessors: Dict[str, List[str]] = {name: [] for name in fn.blocks}
+        for name, block in fn.blocks.items():
+            term = block.terminator()
+            if isinstance(term, Branch):
+                succs = [term.target]
+            elif isinstance(term, CondBranch):
+                succs = [term.if_true, term.if_false]
+                if term.if_true == term.if_false:
+                    succs = [term.if_true]
+            elif isinstance(term, Ret):
+                succs = []
+            else:
+                raise ValueError(
+                    f"@{fn.name}/{name}: missing terminator (verify first)"
+                )
+            self.successors[name] = succs
+            for s in succs:
+                self.predecessors[s].append(name)
+        self.entry = fn.entry.name
+
+    def reverse_postorder(self) -> List[str]:
+        """Blocks in reverse postorder from the entry (forward dataflow order)."""
+        visited = set()
+        postorder: List[str] = []
+
+        def visit(name: str) -> None:
+            stack = [(name, iter(self.successors[name]))]
+            visited.add(name)
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for s in succs:
+                    if s not in visited:
+                        visited.add(s)
+                        stack.append((s, iter(self.successors[s])))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(postorder))
+
+    def reachable(self) -> List[str]:
+        """Blocks reachable from entry, in reverse postorder."""
+        return self.reverse_postorder()

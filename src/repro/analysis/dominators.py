@@ -1,0 +1,64 @@
+"""Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.cfg import CFG
+
+
+class DominatorTree:
+    """Immediate-dominator map over a :class:`CFG`.
+
+    Unreachable blocks have no entry in ``idom``.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        rpo = cfg.reverse_postorder()
+        order = {name: i for i, name in enumerate(rpo)}
+        idom: Dict[str, Optional[str]] = {cfg.entry: cfg.entry}
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while order[a] > order[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while order[b] > order[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for name in rpo:
+                if name == cfg.entry:
+                    continue
+                preds = [p for p in cfg.predecessors[name] if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = intersect(new_idom, p)
+                if idom.get(name) != new_idom:
+                    idom[name] = new_idom
+                    changed = True
+        self.idom: Dict[str, Optional[str]] = idom
+        self.idom[cfg.entry] = None
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block *a* dominates block *b* (reflexive)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def dominators_of(self, name: str) -> List[str]:
+        """All dominators of *name*, innermost first."""
+        result = []
+        node: Optional[str] = name
+        while node is not None:
+            result.append(node)
+            node = self.idom.get(node)
+        return result

@@ -1,0 +1,93 @@
+"""Backward liveness analysis over virtual registers.
+
+Stands in for LLVM's liveness analysis, used by the cWSP compiler to
+find each region's live-out registers (Section IV-B of the paper).
+
+``ignore_ckpt=True`` computes program-semantic liveness, treating
+``ckpt`` instructions as having no uses; the pruning pass needs this,
+since a checkpoint's own use of its register must not keep the register
+live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.analysis.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Checkpoint, Instr
+from repro.ir.values import Reg
+
+
+class Liveness:
+    """Live-in/live-out register sets per block, with per-point queries."""
+
+    def __init__(
+        self, fn: Function, cfg: CFG | None = None, ignore_ckpt: bool = False
+    ) -> None:
+        self.fn = fn
+        self.cfg = cfg if cfg is not None else CFG(fn)
+        self._ignore_ckpt = ignore_ckpt
+        self.live_in: Dict[str, Set[Reg]] = {name: set() for name in fn.blocks}
+        self.live_out: Dict[str, Set[Reg]] = {name: set() for name in fn.blocks}
+        self._use_def: Dict[str, tuple[Set[Reg], Set[Reg]]] = {}
+        for name, block in fn.blocks.items():
+            upward_uses: Set[Reg] = set()
+            defs: Set[Reg] = set()
+            for instr in block.instrs:
+                for r in self._uses(instr):
+                    if r not in defs:
+                        upward_uses.add(r)
+                d = instr.dest()
+                if d is not None:
+                    defs.add(d)
+            self._use_def[name] = (upward_uses, defs)
+        self._solve()
+
+    def _uses(self, instr: Instr) -> Iterable[Reg]:
+        if self._ignore_ckpt and type(instr) is Checkpoint:
+            return ()
+        return instr.uses()
+
+    def _solve(self) -> None:
+        order = list(reversed(self.cfg.reverse_postorder()))
+        changed = True
+        while changed:
+            changed = False
+            for name in order:
+                out: Set[Reg] = set()
+                for succ in self.cfg.successors[name]:
+                    out |= self.live_in[succ]
+                uses, defs = self._use_def[name]
+                inn = uses | (out - defs)
+                if out != self.live_out[name]:
+                    self.live_out[name] = out
+                    changed = True
+                if inn != self.live_in[name]:
+                    self.live_in[name] = inn
+                    changed = True
+
+    def live_before(self, block_name: str, index: int) -> FrozenSet[Reg]:
+        """Registers live immediately before instruction *index* of a block."""
+        block = self.fn.blocks[block_name]
+        live = set(self.live_out[block_name])
+        for instr in reversed(block.instrs[index:]):
+            d = instr.dest()
+            if d is not None:
+                live.discard(d)
+            live.update(self._uses(instr))
+        return frozenset(live)
+
+    def live_sets_in_block(self, block_name: str) -> List[FrozenSet[Reg]]:
+        """Live set before each instruction of the block (one pass)."""
+        block = self.fn.blocks[block_name]
+        live = set(self.live_out[block_name])
+        result: List[FrozenSet[Reg]] = [frozenset()] * len(block.instrs)
+        for i in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[i]
+            d = instr.dest()
+            if d is not None:
+                live.discard(d)
+            live.update(self._uses(instr))
+            result[i] = frozenset(live)
+        return result

@@ -1,0 +1,49 @@
+"""Natural-loop detection via back edges and dominators.
+
+The cWSP compiler inserts a region boundary at the header of each loop,
+"forming a region per iteration" (Section IV-A); this module finds
+those headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    """A natural loop: its header block and its body (including header)."""
+
+    header: str
+    body: Set[str] = field(default_factory=set)
+
+    def __contains__(self, block: str) -> bool:
+        return block in self.body
+
+
+def find_loops(cfg: CFG, domtree: DominatorTree | None = None) -> List[Loop]:
+    """All natural loops of *cfg*; loops sharing a header are merged."""
+    if domtree is None:
+        domtree = DominatorTree(cfg)
+    loops: dict[str, Loop] = {}
+    for block in cfg.reverse_postorder():
+        for succ in cfg.successors[block]:
+            if domtree.dominates(succ, block):  # back edge block -> succ
+                loop = loops.setdefault(succ, Loop(succ, {succ}))
+                _collect_body(cfg, loop, block)
+    return list(loops.values())
+
+
+def _collect_body(cfg: CFG, loop: Loop, latch: str) -> None:
+    """Add to *loop* all blocks that reach *latch* without passing the header."""
+    stack = [latch]
+    while stack:
+        node = stack.pop()
+        if node in loop.body:
+            continue
+        loop.body.add(node)
+        stack.extend(cfg.predecessors[node])

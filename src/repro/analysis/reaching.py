@@ -1,0 +1,88 @@
+"""Reaching definitions of virtual registers.
+
+Used by checkpoint insertion ("does this definition reach a boundary
+where its register is live?") and by the Penny pruning pass ("is there
+a unique reaching definition whose value a recovery slice can
+recompute?").
+
+A definition is identified by the defining instruction's uid; function
+parameters are pseudo-definitions with id ``("param", reg_name)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple, Union
+
+from repro.analysis.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.values import Reg
+
+DefId = Union[int, Tuple[str, str]]  # instruction uid, or ("param", name)
+
+
+class ReachingDefs:
+    """Per-block reaching-definition sets, with per-point queries."""
+
+    def __init__(self, fn: Function, cfg: CFG | None = None) -> None:
+        self.fn = fn
+        self.cfg = cfg if cfg is not None else CFG(fn)
+        empty: Dict[Reg, FrozenSet[DefId]] = {}
+        self.in_defs: Dict[str, Dict[Reg, FrozenSet[DefId]]] = {
+            name: dict(empty) for name in fn.blocks
+        }
+        entry_env: Dict[Reg, FrozenSet[DefId]] = {
+            p: frozenset({("param", p.name)}) for p in fn.params
+        }
+        self.in_defs[self.cfg.entry] = entry_env
+        self._solve()
+
+    def _transfer(self, env: Dict[Reg, FrozenSet[DefId]], block_name: str) -> Dict[Reg, FrozenSet[DefId]]:
+        env = dict(env)
+        for instr in self.fn.blocks[block_name].instrs:
+            d = instr.dest()
+            if d is not None:
+                env[d] = frozenset({instr.uid})
+        return env
+
+    @staticmethod
+    def _join(
+        a: Dict[Reg, FrozenSet[DefId]], b: Dict[Reg, FrozenSet[DefId]]
+    ) -> Dict[Reg, FrozenSet[DefId]]:
+        out = dict(a)
+        for reg, defs in b.items():
+            existing = out.get(reg)
+            out[reg] = defs if existing is None else existing | defs
+        return out
+
+    def _solve(self) -> None:
+        order = self.cfg.reverse_postorder()
+        changed = True
+        while changed:
+            changed = False
+            for name in order:
+                if name == self.cfg.entry:
+                    env = self.in_defs[name]
+                else:
+                    env = {}
+                    for pred in self.cfg.predecessors[name]:
+                        env = self._join(env, self._transfer(self.in_defs[pred], pred))
+                    if env != self.in_defs[name]:
+                        self.in_defs[name] = env
+                        changed = True
+
+    def defs_before(self, block_name: str, index: int, reg: Reg) -> FrozenSet[DefId]:
+        """Definitions of *reg* reaching the point just before instr *index*."""
+        env = self.in_defs[block_name].get(reg, frozenset())
+        for instr in self.fn.blocks[block_name].instrs[:index]:
+            if instr.dest() is reg:
+                env = frozenset({instr.uid})
+        return env
+
+    def env_before(self, block_name: str, index: int) -> Dict[Reg, FrozenSet[DefId]]:
+        """Full reaching-def environment just before instr *index*."""
+        env = dict(self.in_defs[block_name])
+        for instr in self.fn.blocks[block_name].instrs[:index]:
+            d = instr.dest()
+            if d is not None:
+                env[d] = frozenset({instr.uid})
+        return env

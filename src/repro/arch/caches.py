@@ -1,0 +1,194 @@
+"""Cache models: set-associative SRAM levels, the direct-mapped DRAM
+cache, and the hierarchy walk that yields a load/store's latency."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.config import CacheConfig, DRAMCacheConfig
+
+
+class SetAssocCache:
+    """Set-associative cache with LRU replacement and dirty bits.
+
+    Tag state lives in dicts keyed by set index, so a 16MB cache costs
+    memory proportional to the lines actually touched.
+    """
+
+    __slots__ = (
+        "name",
+        "ways",
+        "line_bits",
+        "n_sets",
+        "hit_latency",
+        "sets",
+        "hits",
+        "misses",
+        "_tick",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.name = config.name
+        self.ways = config.ways
+        self.line_bits = config.line_bytes.bit_length() - 1
+        self.n_sets = max(1, config.size_bytes // (config.line_bytes * config.ways))
+        self.hit_latency = config.hit_latency
+        #: set index -> {tag: [lru_tick, dirty]}
+        self.sets: Dict[int, Dict[int, List]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._tick = 0
+
+    def access(self, line_addr: int, is_write: bool) -> Tuple[bool, Optional[Tuple[int, bool]]]:
+        """Access a line; returns (hit, evicted) where evicted is
+        (line_addr, dirty) of a victim line or None."""
+        index = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        self._tick += 1
+        ways = self.sets.get(index)
+        if ways is None:
+            ways = {}
+            self.sets[index] = ways
+        entry = ways.get(tag)
+        if entry is not None:
+            self.hits += 1
+            entry[0] = self._tick
+            if is_write:
+                entry[1] = True
+            return True, None
+        self.misses += 1
+        evicted = None
+        if len(ways) >= self.ways:
+            victim_tag = min(ways, key=lambda t: ways[t][0])
+            victim = ways.pop(victim_tag)
+            evicted = (victim_tag * self.n_sets + index, victim[1])
+        ways[tag] = [self._tick, is_write]
+        return False, evicted
+
+    def invalidate(self, line_addr: int) -> None:
+        index = line_addr % self.n_sets
+        ways = self.sets.get(index)
+        if ways is not None:
+            ways.pop(line_addr // self.n_sets, None)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class DirectMappedCache:
+    """Direct-mapped DRAM cache (Intel memory-mode style)."""
+
+    __slots__ = ("n_lines", "line_bits", "hit_latency", "lines", "hits", "misses")
+
+    def __init__(self, config: DRAMCacheConfig) -> None:
+        self.n_lines = max(1, config.size_bytes // config.line_bytes)
+        self.line_bits = config.line_bytes.bit_length() - 1
+        self.hit_latency = config.hit_latency
+        #: index -> [tag, dirty]
+        self.lines: Dict[int, List] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_addr: int, is_write: bool) -> Tuple[bool, Optional[Tuple[int, bool]]]:
+        index = line_addr % self.n_lines
+        tag = line_addr // self.n_lines
+        entry = self.lines.get(index)
+        if entry is not None and entry[0] == tag:
+            self.hits += 1
+            if is_write:
+                entry[1] = True
+            return True, None
+        self.misses += 1
+        evicted = None
+        if entry is not None:
+            evicted = (entry[0] * self.n_lines + index, entry[1])
+        self.lines[index] = [tag, is_write]
+        return False, evicted
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class CacheHierarchy:
+    """The SRAM levels plus optional DRAM cache, walked on each access.
+
+    ``access`` returns ``(latency_cycles, reached_nvm, l1_evicted,
+    llc_evicted)``: the cumulative lookup latency up to the hit level
+    (NVM read latency *not* included -- the caller adds it with MC/NUMA
+    effects), whether the access missed everything, the dirty line
+    evicted from L1 (it goes to the write buffer), and the dirty line
+    evicted from the last-level cache (it writes back to NVM unless the
+    scheme drops it).
+    """
+
+    def __init__(self, configs, dram_config: Optional[DRAMCacheConfig]) -> None:
+        self.levels = [SetAssocCache(c) for c in configs]
+        self.dram = DirectMappedCache(dram_config) if dram_config is not None else None
+        self.line_bits = self.levels[0].line_bits
+
+    def access(self, addr: int, is_write: bool):
+        line = addr >> self.line_bits
+        latency = 0.0
+        l1_evicted = None
+        llc_evicted = None
+        for i, level in enumerate(self.levels):
+            latency = level.hit_latency
+            hit, evicted = level.access(line, is_write)
+            if i == 0 and evicted is not None and evicted[1]:
+                l1_evicted = evicted[0]
+            elif i == len(self.levels) - 1 and self.dram is None:
+                if evicted is not None and evicted[1]:
+                    llc_evicted = evicted[0]
+            if hit:
+                return latency, False, l1_evicted, llc_evicted
+        if self.dram is not None:
+            latency += self.dram.hit_latency
+            hit, evicted = self.dram.access(line, is_write)
+            if evicted is not None and evicted[1]:
+                llc_evicted = evicted[0]
+            if hit:
+                return latency, False, l1_evicted, llc_evicted
+        return latency, True, l1_evicted, llc_evicted
+
+    def prime(self, ranges) -> None:
+        """Warm the hierarchy with address ranges, smallest first.
+
+        Models the steady-state residency a sampled trace window would
+        inherit from the billion instructions before it: each range is
+        inserted (clean) into every level whose capacity still covers
+        the cumulative footprint, and into the DRAM cache always.
+        """
+        ranges = sorted(ranges, key=lambda r: r[1])
+        cumulative = 0
+        level_cutoff: list = []
+        for base, size in ranges:
+            cumulative += size
+            level_cutoff.append(cumulative)
+        for li, level in enumerate(self.levels):
+            capacity = level.n_sets * level.ways << level.line_bits
+            for (base, size), cum in zip(ranges, level_cutoff):
+                if cum > capacity:
+                    continue
+                for line in range(base >> level.line_bits, (base + size) >> level.line_bits):
+                    index = line % level.n_sets
+                    ways = level.sets.setdefault(index, {})
+                    if len(ways) < level.ways:
+                        ways[line // level.n_sets] = [0, False]
+        if self.dram is not None:
+            # Largest ranges first, so the smaller (hotter) classes win
+            # direct-mapped conflicts -- the steady state a long
+            # execution converges to.
+            for base, size in reversed(ranges):
+                for line in range(base >> self.line_bits, (base + size) >> self.line_bits):
+                    self.dram.lines[line % self.dram.n_lines] = [line // self.dram.n_lines, False]
+
+    def l1_miss_rate(self) -> float:
+        return self.levels[0].miss_rate
+
+    def llc_miss_rate(self) -> float:
+        last = self.dram if self.dram is not None else self.levels[-1]
+        return last.miss_rate

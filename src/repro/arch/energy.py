@@ -1,0 +1,81 @@
+"""Hardware storage and JIT-checkpoint energy model (Sections I/II-D/IX-N).
+
+Reproduces the paper's motivation arithmetic:
+
+- Capri's buffers cost ``(N_mc + 1) x M_cores x 18KB`` of battery-backed
+  SRAM -- 88MB on a 128-core EPYC 9754 with 12 MCs -- all of which must
+  be JIT-flushed to NVM on power failure;
+- eADR must flush entire LLCs (e.g. the 384MB L3 of an EPYC 9654P);
+- cWSP needs 176 bytes of *non*-battery-backed state per core (the RBT)
+  plus the ordinary ADR guarantee for the WPQ.
+
+Energy is modelled as (bytes to flush) x (NVM write energy per byte);
+the default per-byte energy comes from common PCM write-energy
+estimates and only matters as a ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Typical NVM write energy (J/byte); ratios are what matter.
+NVM_WRITE_ENERGY_J_PER_BYTE = 5e-9
+
+#: Capri's per-(core, buffer) storage: 18KB (Section II-D).
+CAPRI_BUFFER_BYTES = 18 << 10
+
+#: cWSP RBT: 16 entries x 11 bytes (Figure 9 / Section IX-N).
+CWSP_RBT_ENTRIES = 16
+CWSP_RBT_ENTRY_BYTES = 11
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A server platform for the overhead comparison."""
+
+    name: str
+    cores: int
+    mc_count: int
+    llc_bytes: int
+
+
+#: The CPUs the paper's motivation cites.
+EPYC_9754 = PlatformSpec("AMD EPYC 9754", cores=128, mc_count=12, llc_bytes=256 << 20)
+EPYC_9654P = PlatformSpec("AMD EPYC 9654P", cores=96, mc_count=12, llc_bytes=384 << 20)
+SKYLAKE_8C = PlatformSpec("8-core Skylake (paper eval)", cores=8, mc_count=2, llc_bytes=16 << 20)
+
+
+def capri_storage_bytes(platform: PlatformSpec) -> int:
+    """Capri's battery-backed buffer storage: (N+1) x M x 18KB."""
+    return (platform.mc_count + 1) * platform.cores * CAPRI_BUFFER_BYTES
+
+
+def cwsp_storage_bytes(platform: PlatformSpec) -> int:
+    """cWSP's added state: one 176-byte RBT per core."""
+    return platform.cores * CWSP_RBT_ENTRIES * CWSP_RBT_ENTRY_BYTES
+
+
+def eadr_flush_bytes(platform: PlatformSpec) -> int:
+    """eADR's JIT-checkpoint obligation: the whole LLC."""
+    return platform.llc_bytes
+
+
+def jit_flush_energy_j(flush_bytes: int) -> float:
+    """Energy the residual supply must deliver to flush *flush_bytes*."""
+    return flush_bytes * NVM_WRITE_ENERGY_J_PER_BYTE
+
+
+def storage_reduction_factor(platform: PlatformSpec) -> float:
+    """How much smaller cWSP's state is than Capri's (paper: 346x per core
+    for the 54KB-per-core configuration; platform-level it is larger)."""
+    return capri_storage_bytes(platform) / cwsp_storage_bytes(platform)
+
+
+def capri_per_core_bytes(mc_count: int) -> int:
+    """Capri's per-core storage: (N+1) x 18KB; 54KB at N=2 (Section I)."""
+    return (mc_count + 1) * CAPRI_BUFFER_BYTES
+
+
+def per_core_reduction_factor(mc_count: int = 2) -> float:
+    """The paper's headline 346x: Capri's 54KB vs cWSP's 176 bytes."""
+    return capri_per_core_bytes(mc_count) / (CWSP_RBT_ENTRIES * CWSP_RBT_ENTRY_BYTES)

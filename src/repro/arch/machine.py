@@ -1,0 +1,304 @@
+"""The trace-driven timing simulator.
+
+Consumes a committed-instruction event stream and advances a cycle
+clock through queue-of-completion-timestamp models of every structure
+in Figure 3(b)/Figure 9 of the paper: L1D write buffer (WB), persist
+buffer (PB), persist path, region boundary table (RBT), per-MC
+write-pending queues (WPQ), and the NVM devices.
+
+Event encoding (one tuple per committed instruction):
+
+====  =======================  =========================
+code  meaning                  payload
+====  =======================  =========================
+'a'   ALU / control            --
+'l'   load                     address
+'s'   store                    address
+'c'   checkpoint store         address (checkpoint slot)
+'b'   region boundary          --
+'f'   fence                    --
+'x'   atomic RMW               address
+====  =======================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.caches import CacheHierarchy
+from repro.arch.config import MachineConfig
+from repro.arch.queues import CompletionQueue
+from repro.arch.scheme import Scheme
+
+Event = Tuple  # (code,) or (code, addr)
+
+_CKPT_SYNTH_BASE = 0x0F80_0000
+
+
+@dataclass
+class SimStats:
+    """Everything the paper's figures need from one run."""
+
+    scheme: str = ""
+    cycles: float = 0.0
+    insts: int = 0
+    loads: int = 0
+    stores: int = 0
+    boundaries: int = 0
+    l1_miss_rate: float = 0.0
+    llc_miss_rate: float = 0.0
+    nvm_reads: int = 0
+    nvm_writes: int = 0
+    persist_path_bytes: int = 0
+    wb_mean_occupancy: float = 0.0
+    wb_delays: int = 0
+    pb_full_stalls: int = 0
+    rbt_full_stalls: int = 0
+    wpq_full_stalls: int = 0
+    wpq_load_hits: int = 0
+    boundary_stall_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def insts_per_region(self) -> float:
+        return self.insts / self.boundaries if self.boundaries else float(self.insts)
+
+    @property
+    def wpq_hits_per_minst(self) -> float:
+        return self.wpq_load_hits / (self.insts / 1e6) if self.insts else 0.0
+
+
+class TimingSimulator:
+    """One core's commit stream against the shared memory system."""
+
+    def __init__(self, machine: MachineConfig, scheme: Scheme) -> None:
+        self.machine = machine
+        self.scheme = scheme
+        self.hier = CacheHierarchy(machine.caches, machine.dram_cache if scheme.dram_cache_enabled else None)
+        self.cycle = 0.0
+        self.wb = CompletionQueue(machine.wb_entries)
+        self.pb = CompletionQueue(scheme.pb_entries_override or machine.pb_entries)
+        self.rbt = CompletionQueue(scheme.rbt_entries_override or machine.rbt_entries)
+        self.wpq: List[CompletionQueue] = [
+            CompletionQueue(machine.wpq_entries) for _ in range(machine.mc_count)
+        ]
+        self.path_free = 0.0
+        self.nvm_free = [0.0] * machine.mc_count
+        self.line_persist_time: Dict[int, float] = {}
+        self.wpq_word_done: List[Dict[int, float]] = [dict() for _ in range(machine.mc_count)]
+        self.region_last_persist = 0.0
+        self.prev_region_complete = 0.0
+        self._ckpt_accum = 0.0
+        self._ckpt_addr = _CKPT_SYNTH_BASE
+        self._region_lines: set = set()
+        # Precomputed constants (hot loop).
+        self._commit_cost = 1.0 / machine.commit_width
+        self._l1_lat = machine.caches[0].hit_latency
+        self._mlp = machine.mlp_factor
+        self._path_send_cycles = scheme.persist_bytes * machine.path_cycles_per_byte()
+        self._path_lat = machine.persist_lat_cycles()
+        self._mc_extra = [machine.ns(x) for x in machine.mc_extra_ns]
+        self._nvm_read_cyc = machine.ns(machine.nvm.total_read_ns)
+        self._nvm_write_cyc = machine.ns(machine.nvm.total_write_ns)
+        self._nvm_cpb = machine.nvm_write_cycles_per_byte()
+        self._nvm_write_bytes = scheme.persist_bytes * scheme.nvm_write_amp
+        self._wpq_drain_overhead = machine.ns(5.0)
+        self._line_bits = self.hier.line_bits
+        self._extra_store_cost = scheme.extra_insts_per_store * self._commit_cost
+        self._extra_region_cost = scheme.extra_insts_per_region * self._commit_cost
+        self.stats = SimStats(scheme=scheme.name)
+
+    # ------------------------------------------------------------------
+    def run(self, events: Iterable[Event]) -> SimStats:
+        stats = self.stats
+        for ev in events:
+            code = ev[0]
+            self.cycle += self._commit_cost
+            stats.insts += 1
+            if code == "a":
+                continue
+            if code == "l":
+                self._load(ev[1])
+            elif code == "s":
+                self._store(ev[1], is_ckpt=False)
+            elif code == "c":
+                self._store(ev[1], is_ckpt=True)
+            elif code == "b":
+                self._boundary()
+            elif code == "f":
+                self._sync()
+            elif code == "x":
+                self._store(ev[1], is_ckpt=False)
+                self._sync()
+            else:  # pragma: no cover - generator bug guard
+                raise ValueError(f"unknown event code {code!r}")
+        # Let outstanding persists finish.
+        if self.scheme.persist_stores:
+            self.cycle = max(self.cycle, self.region_last_persist, self.prev_region_complete)
+        stats.cycles = self.cycle
+        stats.l1_miss_rate = self.hier.l1_miss_rate()
+        stats.llc_miss_rate = self.hier.llc_miss_rate()
+        stats.wb_mean_occupancy = self.wb.mean_occupancy(self.cycle) if self.cycle else 0.0
+        stats.pb_full_stalls = self.pb.full_stalls
+        stats.rbt_full_stalls = self.rbt.full_stalls
+        stats.wpq_full_stalls = sum(q.full_stalls for q in self.wpq)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _load(self, addr: int) -> None:
+        stats = self.stats
+        stats.loads += 1
+        latency, to_nvm, l1_ev, llc_ev = self.hier.access(addr, False)
+        penalty = latency - self._l1_lat
+        if to_nvm:
+            mc = self.machine.mc_of(addr)
+            penalty += self._nvm_read_cyc + self._mc_extra[mc]
+            stats.nvm_reads += 1
+            if self.scheme.persist_stores and self.scheme.wpq_load_delay:
+                done = self.wpq_word_done[mc].get(addr >> 3)
+                ready = self.cycle + penalty
+                if done is not None and done > ready:
+                    stats.wpq_load_hits += 1
+                    penalty = done - self.cycle
+        if penalty > 0:
+            self.cycle += penalty * self._mlp
+        self._evictions(l1_ev, llc_ev)
+
+    def _store(self, addr: int, is_ckpt: bool) -> None:
+        stats = self.stats
+        stats.stores += 1
+        if self._extra_store_cost:
+            self.cycle += self._extra_store_cost
+        _, _, l1_ev, llc_ev = self.hier.access(addr, True)
+        self._evictions(l1_ev, llc_ev)
+        if self.scheme.persist_stores:
+            self._persist(addr)
+
+    def _persist(self, addr: int) -> None:
+        """Copy a committed store onto the persist path (Section V-A)."""
+        if self.scheme.coalesce_lines:
+            line = addr >> self._line_bits
+            if line in self._region_lines:
+                return  # merged into the already-buffered dirty line
+            self._region_lines.add(line)
+        # PB admission backpressures the core when full.
+        self.cycle = self.pb.admit(self.cycle)
+        send = self.cycle if self.cycle > self.path_free else self.path_free
+        self.path_free = send + self._path_send_cycles
+        mc = self.machine.mc_of(addr)
+        arrive = send + self._path_lat + self._mc_extra[mc]
+        # WPQ admission: the entry waits in-path while the WPQ is full.
+        admitted = self.wpq[mc].admit(arrive)
+        # NVM media write: serialized per MC at the device's bandwidth.
+        # The WPQ is battery-backed and the DIMM buffers internally, so
+        # an entry leaves the WPQ at handoff-bandwidth pace, not after
+        # the full media write latency.
+        start = admitted if admitted > self.nvm_free[mc] else self.nvm_free[mc]
+        media = self._nvm_write_bytes * self._nvm_cpb
+        self.nvm_free[mc] = start + media
+        drain_done = start + media + self._wpq_drain_overhead
+        self.wpq[mc].push(drain_done)
+        # The WPQ is the persistence domain: persisted on admission.
+        persisted = admitted
+        self.pb.push(persisted)
+        if persisted > self.region_last_persist:
+            self.region_last_persist = persisted
+        line = addr >> self._line_bits
+        prev = self.line_persist_time.get(line, 0.0)
+        if persisted > prev:
+            self.line_persist_time[line] = persisted
+        words = self.wpq_word_done[mc]
+        words[addr >> 3] = drain_done
+        if len(words) > 8192:
+            now = self.cycle
+            self.wpq_word_done[mc] = {w: t for w, t in words.items() if t > now}
+        self.stats.persist_path_bytes += self.scheme.persist_bytes
+        self.stats.nvm_writes += 1
+
+    def _evictions(self, l1_ev: Optional[int], llc_ev: Optional[int]) -> None:
+        if l1_ev is not None:
+            # Dirty L1 line enters the WB; its drain to L2 is delayed
+            # while a matching PB entry is in flight (stale-read fix).
+            self.cycle = self.wb.admit(self.cycle)
+            drain = self.cycle + self.machine.caches[min(1, len(self.machine.caches) - 1)].hit_latency
+            if self.scheme.persist_stores and self.scheme.wb_delay:
+                persist = self.line_persist_time.get(l1_ev, 0.0)
+                if persist > drain:
+                    drain = persist
+                    self.stats.wb_delays += 1
+            self.wb.push(drain)
+        if llc_ev is not None:
+            if self.scheme.persist_stores:
+                # cWSP-style schemes drop dirty LLC evictions: the
+                # persist path already delivered the data to NVM.
+                return
+            mc = self.machine.mc_of(llc_ev << self._line_bits)
+            start = max(self.cycle, self.nvm_free[mc])
+            self.nvm_free[mc] = start + 64 * self._nvm_cpb
+            self.stats.nvm_writes += 1
+
+    def _boundary(self) -> None:
+        stats = self.stats
+        stats.boundaries += 1
+        if self._extra_region_cost:
+            self.cycle += self._extra_region_cost
+        scheme = self.scheme
+        if scheme.ckpt_stores_per_region:
+            self._ckpt_accum += scheme.ckpt_stores_per_region
+            while self._ckpt_accum >= 1.0:
+                self._ckpt_accum -= 1.0
+                self._ckpt_addr += 8
+                if self._ckpt_addr > _CKPT_SYNTH_BASE + 4096:
+                    self._ckpt_addr = _CKPT_SYNTH_BASE
+                self._store(self._ckpt_addr, is_ckpt=True)
+        if not scheme.persist_stores:
+            return
+        if scheme.coalesce_lines:
+            self._region_lines.clear()
+        complete = max(self.region_last_persist, self.prev_region_complete)
+        self.prev_region_complete = complete
+        self.region_last_persist = 0.0
+        if scheme.mc_speculation:
+            before = self.cycle
+            self.cycle = self.rbt.admit(self.cycle)
+            stats.boundary_stall_cycles += self.cycle - before
+            self.rbt.push(complete)
+        elif scheme.stall_at_boundary:
+            if complete > self.cycle:
+                stats.boundary_stall_cycles += complete - self.cycle
+                self.cycle = complete
+        else:
+            # Capri-style battery-backed redo buffer: no boundary stall;
+            # buffering capacity is modelled by the PB queue.
+            pass
+
+    def _sync(self) -> None:
+        """Fence/atomic: all prior stores must persist before commit."""
+        if not self.scheme.persist_stores:
+            return
+        target = max(self.region_last_persist, self.prev_region_complete)
+        if target > self.cycle:
+            self.stats.boundary_stall_cycles += target - self.cycle
+            self.cycle = target
+
+
+def simulate(
+    events: Iterable[Event],
+    machine: MachineConfig,
+    scheme: Scheme,
+    prime: Optional[Iterable[Tuple[int, int]]] = None,
+) -> SimStats:
+    """Run *events* through a fresh simulator; return its stats.
+
+    ``prime`` is an iterable of (base, size) address ranges used to
+    warm the cache hierarchy before timing starts (see
+    :meth:`CacheHierarchy.prime`).
+    """
+    sim = TimingSimulator(machine, scheme)
+    if prime is not None:
+        sim.hier.prime(list(prime))
+    return sim.run(events)

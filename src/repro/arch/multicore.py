@@ -1,0 +1,175 @@
+"""Multi-core timing simulation.
+
+The paper evaluates an 8-core Skylake machine; SPLASH3, WHISPER, and
+STAMP are multithreaded.  This module runs one
+:class:`~repro.arch.machine.TimingSimulator` per core -- each with its
+private L1D/WB/PB/RBT, as in Figure 3(b) -- over shared memory-system
+state:
+
+- a shared last SRAM level and DRAM cache (tag state shared; no
+  coherence-protocol model, matching the paper's DRF argument that
+  races are absent and sync points order cross-thread visibility);
+- shared per-MC WPQs and NVM write bandwidth;
+- a shared persist path *per core* (the paper's persist path connects
+  each core to the MCs, so path bandwidth is per-core, but WPQ and NVM
+  bandwidth are contended).
+
+Cores are advanced in lockstep windows: the core with the smallest
+local clock consumes its next event, so shared-queue contention is
+observed in approximately global time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.caches import CacheHierarchy
+from repro.arch.config import MachineConfig
+from repro.arch.machine import Event, SimStats, TimingSimulator
+from repro.arch.queues import CompletionQueue
+from repro.arch.scheme import Scheme
+
+
+@dataclass
+class MulticoreStats:
+    """Aggregate of a multi-core run."""
+
+    per_core: List[SimStats] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        """Makespan: the slowest core's finish time."""
+        return max((s.cycles for s in self.per_core), default=0.0)
+
+    @property
+    def insts(self) -> int:
+        return sum(s.insts for s in self.per_core)
+
+    @property
+    def total_nvm_writes(self) -> int:
+        return sum(s.nvm_writes for s in self.per_core)
+
+    @property
+    def wpq_full_stalls(self) -> int:
+        # The WPQs are shared; core 0's stat carries the global count.
+        return self.per_core[0].wpq_full_stalls if self.per_core else 0
+
+
+class MulticoreSimulator:
+    """N per-core simulators sharing LLC tags, WPQs, and NVM bandwidth."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        scheme: Scheme,
+        n_cores: int,
+        share_llc: bool = True,
+    ) -> None:
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.machine = machine
+        self.n_cores = n_cores
+        self.cores = [TimingSimulator(machine, scheme) for _ in range(n_cores)]
+        # Shared structures: all cores reference the same WPQ queues,
+        # NVM bandwidth trackers, and WPQ-word maps.
+        shared_wpq = self.cores[0].wpq
+        shared_nvm_free = self.cores[0].nvm_free
+        shared_words = self.cores[0].wpq_word_done
+        for core in self.cores[1:]:
+            core.wpq = shared_wpq
+            core.nvm_free = shared_nvm_free
+            core.wpq_word_done = shared_words
+        if share_llc:
+            self._share_llc_tags()
+
+    def _share_llc_tags(self) -> None:
+        """Point every core's shared levels at core 0's tag state."""
+        ref: CacheHierarchy = self.cores[0].hier
+        for core in self.cores[1:]:
+            hier = core.hier
+            # L1D stays private; everything below it is shared.
+            for i in range(1, len(hier.levels)):
+                hier.levels[i] = ref.levels[i]
+            hier.dram = ref.dram
+
+    def prime(self, ranges: Iterable[Tuple[int, int]]) -> None:
+        self.cores[0].hier.prime(list(ranges))
+        # Private L1s of other cores stay cold; the shared levels are
+        # already warm through the shared tag state.
+
+    def run(self, traces: Sequence[List[Event]]) -> MulticoreStats:
+        """Run one event list per core; returns aggregate stats.
+
+        Fewer traces than cores leaves the extra cores idle.
+        """
+        if len(traces) > self.n_cores:
+            raise ValueError(f"{len(traces)} traces for {self.n_cores} cores")
+        iters = [iter(t) for t in traces]
+        # Min-heap on local core time: approximately global time order.
+        heap: List[Tuple[float, int]] = []
+        for idx, it in enumerate(iters):
+            heap.append((0.0, idx))
+        heapq.heapify(heap)
+        pending: Dict[int, Optional[Event]] = {}
+        for idx, it in enumerate(iters):
+            pending[idx] = next(it, None)
+        while heap:
+            _, idx = heapq.heappop(heap)
+            ev = pending[idx]
+            if ev is None:
+                continue
+            core = self.cores[idx]
+            core.stats.insts += 1
+            core.cycle += core._commit_cost
+            code = ev[0]
+            if code == "l":
+                core._load(ev[1])
+            elif code == "s":
+                core._store(ev[1], is_ckpt=False)
+            elif code == "c":
+                core._store(ev[1], is_ckpt=True)
+            elif code == "b":
+                core._boundary()
+            elif code == "f":
+                core._sync()
+            elif code == "x":
+                core._store(ev[1], is_ckpt=False)
+                core._sync()
+            elif code != "a":  # pragma: no cover - generator bug guard
+                raise ValueError(f"unknown event code {code!r}")
+            pending[idx] = next(iters[idx], None)
+            if pending[idx] is not None:
+                heapq.heappush(heap, (core.cycle, idx))
+        stats = MulticoreStats()
+        for core in self.cores:
+            if core.scheme.persist_stores:
+                core.cycle = max(
+                    core.cycle, core.region_last_persist, core.prev_region_complete
+                )
+            core.stats.cycles = core.cycle
+            core.stats.l1_miss_rate = core.hier.l1_miss_rate()
+            core.stats.llc_miss_rate = core.hier.llc_miss_rate()
+            core.stats.pb_full_stalls = core.pb.full_stalls
+            core.stats.rbt_full_stalls = core.rbt.full_stalls
+            stats.per_core.append(core.stats)
+        # WPQs are shared: record the global stall count on core 0 only.
+        stats.per_core[0].wpq_full_stalls = sum(
+            q.full_stalls for q in self.cores[0].wpq
+        )
+        return stats
+
+
+def simulate_multicore(
+    traces: Sequence[List[Event]],
+    machine: MachineConfig,
+    scheme: Scheme,
+    n_cores: Optional[int] = None,
+    prime: Optional[Iterable[Tuple[int, int]]] = None,
+) -> MulticoreStats:
+    """Convenience wrapper mirroring :func:`repro.arch.machine.simulate`."""
+    sim = MulticoreSimulator(machine, scheme, n_cores or len(traces))
+    if prime is not None:
+        sim.prime(prime)
+    return sim.run(traces)

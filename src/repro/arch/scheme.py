@@ -1,0 +1,60 @@
+"""Hardware-mechanism knobs a persistence scheme turns on or off.
+
+A :class:`Scheme` is pure configuration -- the named schemes the paper
+evaluates (cWSP, Capri, ReplayCache, ideal PSP, the Figure 15
+ablations) are factory functions in :mod:`repro.schemes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """Knobs of the persistence machinery for one simulated scheme."""
+
+    name: str
+    #: Committed stores are copied onto the persist path.
+    persist_stores: bool = True
+    #: Bytes sent on the persist path per store (cWSP: 8; Capri and
+    #: other cacheline-granularity schemes: 64 -- Section V-A2).
+    persist_bytes: int = 8
+    #: NVM write amplification from hardware logging (cWSP's undo log
+    #: writes address+old-value in the MC background; Capri's
+    #: redo+undo logging amplifies writes ~8x -- Section II-D).
+    nvm_write_amp: float = 2.0
+    #: Stall the core at each region boundary until the region's stores
+    #: persist (what every pre-cWSP scheme does with multiple MCs).
+    stall_at_boundary: bool = False
+    #: MC speculation: regions persist asynchronously through the RBT.
+    mc_speculation: bool = True
+    #: Delay L1D write-buffer drains that match an in-flight PB entry
+    #: (the stale-read fix, Section V-A1).
+    wb_delay: bool = True
+    #: Delay loads that hit a pending WPQ entry (Section V-A2).
+    wpq_load_delay: bool = True
+    #: DRAM serves as the LLC (WSP).  PSP schemes lose this.
+    dram_cache_enabled: bool = True
+    #: Software overhead, extra committed instructions (ReplayCache's
+    #: software-oriented design; iDO's logging sequences).
+    extra_insts_per_store: int = 0
+    extra_insts_per_region: int = 0
+    #: Extra persist-path stores per region boundary (register
+    #: checkpoints; 0 when the trace already contains explicit ckpts).
+    ckpt_stores_per_region: float = 0.0
+    #: Scheme-specific buffer sizing (e.g. Capri's 18KB redo buffer is
+    #: 288 cacheline entries, vs cWSP's 50-entry PB).  None = machine
+    #: default.
+    pb_entries_override: int | None = None
+    rbt_entries_override: int | None = None
+    #: Cacheline-granularity schemes buffer dirty *lines*, so stores to
+    #: an already-buffered line within the current region add no persist
+    #: traffic (Capri's redo buffer copies dirty cachelines).  cWSP
+    #: sends every 8-byte store and needs no coalescing storage.
+    coalesce_lines: bool = False
+
+    def with_name(self, name: str) -> "Scheme":
+        from dataclasses import replace
+
+        return replace(self, name=name)

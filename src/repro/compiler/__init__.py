@@ -1,0 +1,51 @@
+"""The cWSP compiler: idempotent region formation and checkpointing.
+
+Pass pipeline (mirrors Section IV of the paper):
+
+1. **Initial boundaries** -- at function entry, around call sites and
+   synchronization points (atomics, fences), and at loop headers
+   (:mod:`repro.compiler.regions`).
+2. **Antidependence cutting** -- detect memory write-after-read pairs
+   within a region via alias analysis and cut them with additional
+   boundaries until every region is idempotent
+   (:mod:`repro.compiler.regions`).
+3. **Live-out register checkpointing** -- insert ``ckpt`` for every
+   definition whose value is live across a region boundary
+   (:mod:`repro.compiler.checkpoints`).
+4. **Checkpoint pruning + recovery slices** -- remove checkpoints whose
+   values a recovery slice can reconstruct from immediates and the
+   remaining checkpoints (Penny's pruning, Section IV-C), and build the
+   per-boundary recovery slice the runtime executes after power failure
+   (:mod:`repro.compiler.pruning`).
+"""
+
+from repro.compiler.pipeline import CompileOptions, CompileReport, compile_module
+from repro.compiler.recovery_slice import RecoverySlice, RSOp
+from repro.compiler.regions import (
+    cut_antidependences,
+    find_antidependent_stores,
+    insert_initial_boundaries,
+)
+from repro.compiler.checkpoints import insert_checkpoints
+from repro.compiler.pruning import prune_and_build_slices
+from repro.compiler.idempotence import (
+    IdempotenceViolation,
+    check_idempotence_static,
+    check_regions_replayable,
+)
+
+__all__ = [
+    "CompileOptions",
+    "CompileReport",
+    "IdempotenceViolation",
+    "RSOp",
+    "RecoverySlice",
+    "check_idempotence_static",
+    "check_regions_replayable",
+    "compile_module",
+    "cut_antidependences",
+    "find_antidependent_stores",
+    "insert_checkpoints",
+    "insert_initial_boundaries",
+    "prune_and_build_slices",
+]

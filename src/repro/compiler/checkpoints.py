@@ -1,0 +1,84 @@
+"""Live-out register checkpointing (Section IV-B of the paper).
+
+A definition of register ``r`` must be checkpointed when its value can
+be live across a region boundary: after power failure the interrupted
+region re-executes from its entry, and any register it reads that was
+produced by an *earlier* region must be restorable.  We insert ``ckpt
+r`` immediately after each such definition (as in the paper's Figure
+4(b), where ``ckpt r3`` follows the shift that defines ``r3``).
+
+Function parameters need no explicit ``ckpt``: the compiled-binary ABI
+spills arguments into the callee parameters' checkpoint slots at the
+call (see :class:`repro.ir.interpreter.Interpreter`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.ir.function import Function
+from repro.ir.instructions import Boundary, Checkpoint, Instr
+from repro.ir.values import Reg
+
+
+def insert_checkpoints(fn: Function) -> int:
+    """Insert ``ckpt`` after every boundary-crossing definition.
+
+    Returns the number of checkpoints inserted.
+    """
+    cfg = CFG(fn)
+    liveness = Liveness(fn, cfg)
+    live_sets = {name: liveness.live_sets_in_block(name) for name in fn.blocks}
+
+    # Collect (block_name, index) of definitions needing a checkpoint.
+    to_ckpt: List[Tuple[str, int, Reg]] = []
+    for name, block in fn.blocks.items():
+        for i, instr in enumerate(block.instrs):
+            reg = instr.dest()
+            if reg is None:
+                continue
+            if _crosses_boundary(fn, cfg, live_sets, name, i, reg):
+                to_ckpt.append((name, i, reg))
+
+    # Insert in reverse index order per block so indices stay valid.
+    to_ckpt.sort(key=lambda t: (t[0], -t[1]))
+    for name, i, reg in to_ckpt:
+        fn.add_instr(fn.blocks[name], Checkpoint(reg), index=i + 1)
+    return len(to_ckpt)
+
+
+def _crosses_boundary(
+    fn: Function,
+    cfg: CFG,
+    live_sets,
+    block_name: str,
+    index: int,
+    reg: Reg,
+) -> bool:
+    """Does the def of *reg* at (block, index) reach a boundary where it is live?
+
+    Forward walk from just after the definition, stopping at
+    redefinitions of *reg*; returns True on reaching a ``boundary``
+    instruction whose live set contains *reg*.
+    """
+    worklist: List[Tuple[str, int]] = [(block_name, index + 1)]
+    visited: Set[Tuple[str, int]] = set()
+    while worklist:
+        name, i = worklist.pop()
+        if (name, i) in visited:
+            continue
+        visited.add((name, i))
+        block = fn.blocks[name]
+        while i < len(block.instrs):
+            instr = block.instrs[i]
+            if type(instr) is Boundary and reg in live_sets[name][i]:
+                return True
+            if instr.dest() is reg:
+                break  # redefined: this def's value dies here
+            i += 1
+        else:
+            for succ in cfg.successors[name]:
+                worklist.append((succ, 0))
+    return False

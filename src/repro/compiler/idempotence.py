@@ -1,0 +1,196 @@
+"""Idempotence checkers: static (no WAR inside a region) and dynamic
+(every executed region replays to the identical state).
+
+The dynamic checker validates the property the whole recovery story
+rests on: re-executing a region *after its stores have already been
+applied to memory* produces exactly the same memory, registers, and
+output.  This is precisely the recovery scenario -- the power-
+interrupted region restarts with its own stores possibly persisted.
+
+Regions containing atomics or state-mutating intrinsic calls are
+skipped: atomics are single-instruction regions the hardware persists
+synchronously and never re-executes (Section VIII), and intrinsics
+model pre-instrumented kernel services.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.compiler.regions import find_antidependent_stores
+from repro.ir.function import Module
+from repro.ir.interpreter import Frame, Interpreter, MachineState, TraceEvent
+from repro.ir.printer import print_instr
+
+
+class IdempotenceViolation(AssertionError):
+    """A region is not idempotent (WAR hazard or replay divergence)."""
+
+
+def check_idempotence_static(module: Module) -> None:
+    """Assert no function has a memory antidependence inside a region."""
+    for fn in module.functions.values():
+        flagged = find_antidependent_stores(fn)
+        if flagged:
+            details = []
+            for uid in flagged:
+                block, index = fn.find_instr(uid)
+                details.append(
+                    f"@{fn.name}/{block.name}[{index}]: "
+                    f"{print_instr(block.instrs[index])}"
+                )
+            raise IdempotenceViolation(
+                "antidependent stores inside regions:\n" + "\n".join(details)
+            )
+
+
+@dataclass
+class _Snapshot:
+    """Interpreter state captured at a committed region boundary."""
+
+    boundary_uid: int
+    frames: List[Frame]
+    memory_words: dict
+    sp: int
+    brk: int
+    out_len: int
+
+
+class _StopReplay(Exception):
+    """Internal: raised to stop a replay at the next boundary."""
+
+
+def _snapshot(event: TraceEvent, state: MachineState) -> _Snapshot:
+    frames = []
+    for f in state.frames:
+        nf = Frame(f.fn, dict(f.regs), f.saved_sp, f.ret_reg)
+        nf.block = f.block
+        nf.idx = f.idx
+        frames.append(nf)
+    return _Snapshot(
+        boundary_uid=event.uid,
+        frames=frames,
+        memory_words=dict(state.memory.words),
+        sp=state.sp,
+        brk=state.brk,
+        out_len=len(state.output),
+    )
+
+
+def check_regions_replayable(
+    module: Module,
+    entry: str = "main",
+    args: Tuple[int, ...] = (),
+    max_steps: int = 200_000,
+    spill_args: bool = True,
+) -> int:
+    """Dynamically verify every executed region is idempotent.
+
+    Runs the program once, snapshotting at each boundary; then, for
+    each region, re-executes it from its entry registers but with the
+    *post-region memory* (the recovery scenario) and asserts the
+    resulting memory, output delta, and stack/heap pointers match the
+    original execution.  Returns the number of regions checked.
+    """
+    interp = Interpreter(module, spill_args=spill_args)
+    snapshots: List[_Snapshot] = []
+    region_has_skip: List[bool] = []
+    region_outputs: List[List[int]] = []
+    current_skip = [False]
+    current_out: List[List[int]] = [[]]
+
+    def on_event(ev: TraceEvent) -> None:
+        if ev.kind in ("atomic", "icall"):
+            current_skip[0] = True
+        elif ev.kind == "out":
+            current_out[0].append(ev.value)
+
+    def on_boundary(ev: TraceEvent, state: MachineState) -> None:
+        snapshots.append(_snapshot(ev, state))
+        region_has_skip.append(current_skip[0])
+        region_outputs.append(current_out[0])
+        current_skip[0] = False
+        current_out[0] = []
+
+    final = interp.run(entry, args, max_steps, on_event, on_boundary)
+    # Close the last region with a terminal pseudo-snapshot.
+    end_event = TraceEvent("boundary", uid=-2)
+    snapshots.append(_snapshot(end_event, final))
+    region_has_skip.append(current_skip[0])
+    region_outputs.append(current_out[0])
+
+    checked = 0
+    for i in range(len(snapshots) - 1):
+        start, end = snapshots[i], snapshots[i + 1]
+        if region_has_skip[i + 1]:
+            continue  # region (start -> end) contains atomic/intrinsic
+        _replay_region(module, interp, start, end, region_outputs[i + 1])
+        checked += 1
+    return checked
+
+
+def _replay_region(
+    module: Module,
+    interp: Interpreter,
+    start: _Snapshot,
+    end: _Snapshot,
+    expected_out: List[int],
+) -> None:
+    state = MachineState()
+    for f in start.frames:
+        nf = Frame(f.fn, dict(f.regs), f.saved_sp, f.ret_reg)
+        nf.block = f.block
+        nf.idx = f.idx
+        state.frames.append(nf)
+    # Recovery scenario: registers from region entry, memory from after
+    # the region's own stores were applied.
+    state.memory.words = dict(end.memory_words)
+    state.sp = start.sp
+    state.brk = start.brk
+
+    def stop_at_boundary(ev: TraceEvent, _state: MachineState) -> None:
+        raise _StopReplay()
+
+    try:
+        interp.resume(state, max_steps=1_000_000, on_boundary=stop_at_boundary)
+        stopped_at_end = not state.frames  # program finished
+        if end.boundary_uid != -2 and not stopped_at_end:
+            raise IdempotenceViolation("replay overran the region")
+    except _StopReplay:
+        pass
+
+    if state.memory.words != {
+        k: v for k, v in end.memory_words.items()
+    } and not _words_equal(state.memory.words, end.memory_words):
+        diff = _first_diff(state.memory.words, end.memory_words)
+        raise IdempotenceViolation(
+            f"region after boundary #{start.boundary_uid}: memory diverged at {diff}"
+        )
+    if state.output != expected_out:
+        raise IdempotenceViolation(
+            f"region after boundary #{start.boundary_uid}: output diverged "
+            f"({state.output} != {expected_out})"
+        )
+    if state.frames:
+        got = state.frames[-1].regs
+        want = end.frames[-1].regs
+        for reg, value in want.items():
+            if got.get(reg, value) != value:
+                raise IdempotenceViolation(
+                    f"region after boundary #{start.boundary_uid}: "
+                    f"%{reg.name} = {got.get(reg)} != {value}"
+                )
+
+
+def _words_equal(a: dict, b: dict) -> bool:
+    keys = a.keys() | b.keys()
+    return all(a.get(k, 0) == b.get(k, 0) for k in keys)
+
+
+def _first_diff(a: dict, b: dict) -> str:
+    for k in sorted(a.keys() | b.keys()):
+        if a.get(k, 0) != b.get(k, 0):
+            return f"{k:#x}: {a.get(k, 0)} != {b.get(k, 0)}"
+    return "<none>"

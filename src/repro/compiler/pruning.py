@@ -1,0 +1,257 @@
+"""Checkpoint pruning and recovery-slice construction (Section IV-C).
+
+The paper adopts Penny's optimal checkpoint pruning: a checkpoint is
+redundant if, at recovery time, the register's value can be
+reconstructed from immediates and the *remaining* checkpoints.  The
+reconstruction recipe is the boundary's *recovery slice* (RS).
+
+Soundness rule.  A slice executes against NVM state as of the recovery
+boundary ``b`` (the undo logs have reverted everything younger).  A
+checkpoint slot therefore holds the register's value *at b*.  When the
+slice needs a register's value *at some earlier definition point p*
+(to recompute an expression), restoring from the slot is only correct
+if no other definition of that register can execute between p and b.
+We prove that with the *singleton-reaching-def rule*: the register's
+reaching-definition set must be the same singleton at p and at b --
+any intervening definition on a p-to-b path would reach b and break
+the equality.  The top-level restore of a live-in register at b itself
+needs no such proof (the slot is by construction the value at b), so
+multi-definition registers are restorable when every reaching
+definition is checkpointed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.analysis.reaching import DefId, ReachingDefs
+from repro.compiler.recovery_slice import RecoverySlice, RSOp
+from repro.ir.function import Function, Module
+from repro.ir.instructions import BinOp, Boundary, Checkpoint, Const, Instr
+from repro.ir.values import Imm, Reg, to_s64
+
+_MAX_SLICE_OPS = 24
+_MAX_DEPTH = 8
+
+
+@dataclass
+class PruneResult:
+    """Outcome of the pruning pass for one function."""
+
+    inserted: int = 0
+    pruned: int = 0
+    kept: int = 0
+    slices: Dict[int, RecoverySlice] = field(default_factory=dict)
+
+
+class _SliceBuilder:
+    """Builds the RS op list for one boundary, memoizing registers."""
+
+    def __init__(self, ctx: "_FunctionContext", b_uid: int, kept: Set[int]) -> None:
+        self.ctx = ctx
+        self.b_uid = b_uid
+        self.kept = kept
+        self.ops: List[RSOp] = []
+        self.materialized: Set[Reg] = set()
+
+    def _defs_at_b(self, reg: Reg) -> FrozenSet[DefId]:
+        return self.ctx.defs_at_boundary[self.b_uid].get(reg, frozenset())
+
+    def _restorable(self, defs: FrozenSet[DefId]) -> bool:
+        """Are all of *defs* checkpointed-and-kept (or parameters)?"""
+        if not defs:
+            return False
+        for d in defs:
+            if isinstance(d, tuple):  # ("param", name): spilled at the call
+                continue
+            if d not in self.ctx.ckpt_of_def or d not in self.kept:
+                return False
+        return True
+
+    def materialize_at_boundary(self, reg: Reg) -> bool:
+        """Emit ops computing *reg*'s value at the boundary itself."""
+        if reg in self.materialized:
+            return True
+        defs = self._defs_at_b(reg)
+        if self._restorable(defs):
+            self._emit(("restore", reg), reg)
+            return True
+        if len(defs) == 1:
+            (d,) = defs
+            if not isinstance(d, tuple):
+                return self._expand_def(reg, d, depth=0)
+        return False
+
+    def _materialize_inner(self, reg: Reg, point: Tuple[str, int], depth: int) -> bool:
+        """Emit ops computing *reg*'s value as of program point *point*.
+
+        Correct only under the singleton-reaching-def rule (see module
+        docstring).
+        """
+        if reg in self.materialized:
+            return True
+        defs_p = self.ctx.reaching.defs_before(point[0], point[1], reg)
+        defs_b = self._defs_at_b(reg)
+        if len(defs_p) != 1 or defs_p != defs_b:
+            return False
+        (d,) = defs_p
+        if isinstance(d, tuple) or (d in self.ctx.ckpt_of_def and d in self.kept):
+            self._emit(("restore", reg), reg)
+            return True
+        return self._expand_def(reg, d, depth)
+
+    def _expand_def(self, reg: Reg, def_uid: int, depth: int) -> bool:
+        """Emit ops recomputing the expression of definition *def_uid*."""
+        if depth > _MAX_DEPTH or len(self.ops) > _MAX_SLICE_OPS:
+            return False
+        instr = self.ctx.instr_by_uid[def_uid]
+        cls = type(instr)
+        if cls is Const:
+            self._emit(("const", reg, to_s64(instr.value)), reg)
+            return True
+        if cls is BinOp:
+            point = self.ctx.point_of[def_uid]
+            for operand in (instr.lhs, instr.rhs):
+                if isinstance(operand, Reg):
+                    if not self._materialize_inner(operand, point, depth + 1):
+                        return False
+            self._emit(("binop", instr.op, reg, instr.lhs, instr.rhs), reg)
+            return True
+        return False  # loads, calls, allocas, atomics: not recomputable
+
+    def _emit(self, op: RSOp, reg: Reg) -> None:
+        self.ops.append(op)
+        self.materialized.add(reg)
+
+
+class _FunctionContext:
+    """Shared analysis state for pruning one function."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.cfg = CFG(fn)
+        self.liveness = Liveness(fn, self.cfg, ignore_ckpt=True)
+        self.reaching = ReachingDefs(fn, self.cfg)
+        self.instr_by_uid: Dict[int, Instr] = {}
+        self.point_of: Dict[int, Tuple[str, int]] = {}
+        self.boundaries: List[Instr] = []
+        #: def uid -> uid of the Checkpoint instruction guarding it
+        self.ckpt_of_def: Dict[int, int] = {}
+        reachable = set(self.cfg.reachable())
+        for name, block in fn.blocks.items():
+            for i, instr in enumerate(block.instrs):
+                self.instr_by_uid[instr.uid] = instr
+                self.point_of[instr.uid] = (name, i)
+                if name not in reachable:
+                    continue
+                if type(instr) is Boundary:
+                    self.boundaries.append(instr)
+                elif type(instr) is Checkpoint and i > 0:
+                    prev = block.instrs[i - 1]
+                    if prev.dest() is instr.reg:
+                        self.ckpt_of_def[prev.uid] = instr.uid
+
+        self.live_at_boundary: Dict[int, FrozenSet[Reg]] = {}
+        self.defs_at_boundary: Dict[int, Dict[Reg, FrozenSet[DefId]]] = {}
+        for b in self.boundaries:
+            name, i = self.point_of[b.uid]
+            self.live_at_boundary[b.uid] = self.liveness.live_before(name, i)
+            env = self.reaching.env_before(name, i)
+            self.defs_at_boundary[b.uid] = env
+
+    def boundaries_served(self, def_uid: int, reg: Reg) -> List[int]:
+        """Boundaries whose recovery may need this definition's checkpoint."""
+        served = []
+        for b in self.boundaries:
+            if reg not in self.live_at_boundary[b.uid]:
+                continue
+            if def_uid in self.defs_at_boundary[b.uid].get(reg, frozenset()):
+                served.append(b.uid)
+        return served
+
+
+def prune_and_build_slices(
+    fn: Function, module: Module, enable_pruning: bool = True
+) -> PruneResult:
+    """Prune redundant checkpoints and build every boundary's RS.
+
+    Populates ``module.recovery_slices[(fn.name, boundary_uid)]`` and
+    removes pruned ``ckpt`` instructions from the function.
+    """
+    ctx = _FunctionContext(fn)
+    result = PruneResult(inserted=len(ctx.ckpt_of_def))
+
+    kept: Set[int] = set(ctx.ckpt_of_def.keys())
+    pruned: Set[int] = set()
+
+    # Drop checkpoints serving no boundary at all (dead checkpoints).
+    for def_uid in sorted(kept):
+        instr = ctx.instr_by_uid[def_uid]
+        reg = instr.dest()
+        assert reg is not None
+        if not ctx.boundaries_served(def_uid, reg):
+            kept.discard(def_uid)
+            pruned.add(def_uid)
+
+    if enable_pruning:
+        # Decide candidates in uid order.  A pruning trial may restore
+        # only from *already-decided-kept* checkpoints, so a pruned
+        # checkpoint's justification can never be invalidated by a later
+        # pruning decision (the final slices then restore from the full
+        # kept set, a superset of what every trial used).
+        decided_kept: Set[int] = set()
+        for def_uid in sorted(kept):
+            instr = ctx.instr_by_uid[def_uid]
+            reg = instr.dest()
+            assert reg is not None
+            served = ctx.boundaries_served(def_uid, reg)
+            ok = True
+            for b_uid in served:
+                defs_b = ctx.defs_at_boundary[b_uid].get(reg, frozenset())
+                if defs_b != frozenset({def_uid}):
+                    ok = False  # shared slot with other defs: must keep
+                    break
+                builder = _SliceBuilder(ctx, b_uid, decided_kept)
+                if not builder._expand_def(reg, def_uid, depth=0):
+                    ok = False
+                    break
+            if ok:
+                pruned.add(def_uid)
+            else:
+                decided_kept.add(def_uid)
+        kept = decided_kept
+
+    # Build the final recovery slice of every boundary.
+    for b in ctx.boundaries:
+        builder = _SliceBuilder(ctx, b.uid, kept)
+        live_in = sorted(ctx.live_at_boundary[b.uid], key=lambda r: r.name)
+        for reg in live_in:
+            if not builder.materialize_at_boundary(reg):
+                raise RuntimeError(
+                    f"@{fn.name}: cannot build RS for %{reg.name} at "
+                    f"boundary #{b.uid} ({b.kind}); checkpoint pass invariant broken"
+                )
+        rslice = RecoverySlice(fn.name, b.uid, tuple(live_in), builder.ops)
+        module.recovery_slices[(fn.name, b.uid)] = rslice
+        result.slices[b.uid] = rslice
+        # Reserve NVM slots for every restored register.
+        for op in builder.ops:
+            if op[0] == "restore":
+                module.ckpt_slot(fn.name, op[1])
+
+    # Physically remove pruned checkpoint instructions.
+    remove_uids = {ctx.ckpt_of_def[d] for d in pruned}
+    for block in fn.blocks.values():
+        block.instrs[:] = [i for i in block.instrs if i.uid not in remove_uids]
+    # Reserve slots for surviving checkpoints too.
+    for def_uid in kept:
+        reg = ctx.instr_by_uid[def_uid].dest()
+        assert reg is not None
+        module.ckpt_slot(fn.name, reg)
+
+    result.pruned = len(pruned)
+    result.kept = len(kept)
+    return result

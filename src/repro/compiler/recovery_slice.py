@@ -1,0 +1,78 @@
+"""Recovery slices (RS): the code the runtime executes after power
+failure to rebuild the live-in registers of the interrupted region
+(Section IV-C, Figure 4(b) of the paper).
+
+A slice is a short straight-line program over three op kinds:
+
+``("restore", reg)``
+    load the register's value from its NVM checkpoint slot;
+``("const", reg, value)``
+    rematerialize an immediate;
+``("binop", op, reg, lhs, rhs)``
+    recompute from already-materialized slice registers / immediates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.ir.interpreter import CKPT_BASE, Memory, eval_binop
+from repro.ir.function import Module
+from repro.ir.values import Imm, Reg
+
+RSOp = Tuple  # ("restore", Reg) | ("const", Reg, int) | ("binop", op, Reg, lhs, rhs)
+
+
+@dataclass
+class RecoverySlice:
+    """The recovery slice of one region boundary."""
+
+    func: str
+    boundary_uid: int
+    live_in: Tuple[Reg, ...]
+    ops: List[RSOp] = field(default_factory=list)
+
+    def execute(
+        self, module: Module, memory: Memory, ckpt_base: int = CKPT_BASE
+    ) -> Dict[Reg, int]:
+        """Run the slice against NVM *memory*; return the restored registers.
+
+        Mirrors the paper's recovery runtime step (2): reconstruct the
+        oldest unpersisted region's live-in registers from checkpoint
+        storage and immediates.  ``ckpt_base`` selects the hardware
+        context's (core's) checkpoint storage.
+        """
+        regs: Dict[Reg, int] = {}
+        for op in self.ops:
+            kind = op[0]
+            if kind == "restore":
+                reg = op[1]
+                slot = module.ckpt_slots.get((self.func, reg.name))
+                if slot is None:
+                    raise KeyError(
+                        f"no checkpoint slot for %{reg.name} in @{self.func}"
+                    )
+                regs[reg] = memory.load(ckpt_base + slot * 8)
+            elif kind == "const":
+                regs[op[1]] = op[2]
+            elif kind == "binop":
+                _, binop, reg, lhs, rhs = op
+                lv = lhs.value if isinstance(lhs, Imm) else regs[lhs]
+                rv = rhs.value if isinstance(rhs, Imm) else regs[rhs]
+                regs[reg] = eval_binop(binop, lv, rv)
+            else:  # pragma: no cover - constructor controls op kinds
+                raise ValueError(f"bad RS op {op!r}")
+        missing = [r for r in self.live_in if r not in regs]
+        if missing:
+            raise RuntimeError(
+                f"RS for @{self.func}#{self.boundary_uid} did not restore "
+                f"{[f'%{r.name}' for r in missing]}"
+            )
+        return {r: regs[r] for r in self.live_in}
+
+    def restore_count(self) -> int:
+        return sum(1 for op in self.ops if op[0] == "restore")
+
+    def __len__(self) -> int:
+        return len(self.ops)

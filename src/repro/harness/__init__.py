@@ -1,0 +1,15 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``repro.harness.figures`` has one function per experiment (``fig01``
+.. ``fig27``, ``tab01``, ``hardware_overhead``, ``recovery_check``);
+each returns a :class:`FigureResult` whose ``format_table()`` prints
+the same rows/series the paper reports.  Run them all from the CLI::
+
+    python -m repro.harness.figures            # everything
+    python -m repro.harness.figures fig13 fig14
+"""
+
+from repro.harness.runner import Runner
+from repro.harness.report import FigureResult, format_table, gmean
+
+__all__ = ["FigureResult", "Runner", "format_table", "gmean"]

@@ -1,0 +1,6 @@
+"""``python -m repro.harness`` — alias for the figure regeneration CLI."""
+
+from repro.harness.figures import main
+
+if __name__ == "__main__":
+    main()

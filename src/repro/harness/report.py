@@ -1,0 +1,86 @@
+"""Result containers and table formatting for the figure harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for slowdowns)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("gmean of empty sequence")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    str_rows = [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(
+                c.rjust(w) if _numeric(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+@dataclass
+class FigureResult:
+    """One regenerated experiment: rows plus the claim it should show."""
+
+    experiment: str
+    description: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    #: Key aggregates, e.g. {"all_gmean": 1.058}.
+    summary: Dict[str, float] = field(default_factory=dict)
+    #: What the paper reports for the same experiment, for EXPERIMENTS.md.
+    paper_says: str = ""
+
+    def add(self, *row) -> None:
+        self.rows.append(list(row))
+
+    def format_table(self) -> str:
+        table = format_table(self.headers, self.rows, title=f"{self.experiment}: {self.description}")
+        if self.summary:
+            items = "  ".join(f"{k}={v:.3f}" for k, v in self.summary.items())
+            table += f"\n{items}"
+        return table
+
+    def column(self, name: str) -> List:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """CSV form (for external plotting)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()

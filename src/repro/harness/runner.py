@@ -1,0 +1,84 @@
+"""Experiment runner: (app x scheme x machine) with memoization.
+
+Traces and simulation results are cached, so a figure sweep that
+re-uses the same baseline run (every normalized-slowdown figure does)
+pays for it once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.config import MachineConfig
+from repro.arch.machine import SimStats, simulate
+from repro.arch.scheme import Scheme
+from repro.schemes import baseline
+from repro.workloads.profiles import PROFILES, AppProfile
+from repro.workloads.synthetic import generate_trace, prime_ranges
+
+
+class Runner:
+    """Runs and caches (app, instrument, machine, scheme) simulations."""
+
+    def __init__(self, n_insts: int = 50_000, seed: int = 1) -> None:
+        self.n_insts = n_insts
+        self.seed = seed
+        self._traces: Dict[Tuple[str, Optional[str]], list] = {}
+        self._stats: Dict[Tuple, SimStats] = {}
+
+    def profile(self, app: str) -> AppProfile:
+        return PROFILES[app]
+
+    def trace(self, app: str, instrument: Optional[str]) -> list:
+        key = (app, instrument)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = generate_trace(
+                PROFILES[app], self.n_insts, self.seed, instrument=instrument
+            )
+            self._traces[key] = trace
+        return trace
+
+    def stats(
+        self,
+        app: str,
+        scheme: Scheme,
+        machine: MachineConfig,
+        instrument: Optional[str] = "pruned",
+    ) -> SimStats:
+        key = (app, scheme, machine, instrument)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = simulate(
+                self.trace(app, instrument),
+                machine,
+                scheme,
+                prime=prime_ranges(PROFILES[app]),
+            )
+            self._stats[key] = stats
+        return stats
+
+    def slowdown(
+        self,
+        app: str,
+        scheme: Scheme,
+        machine: MachineConfig,
+        instrument: Optional[str] = "pruned",
+        baseline_scheme: Optional[Scheme] = None,
+        baseline_machine: Optional[MachineConfig] = None,
+    ) -> float:
+        """Normalized slowdown vs. the uninstrumented baseline run.
+
+        The baseline runs the *original* (uninstrumented) trace on
+        ``baseline_machine`` (default: the same machine) with
+        ``baseline_scheme`` (default: no persistence) -- exactly the
+        paper's "original program on the original hardware platform".
+        """
+        ref = self.stats(
+            app,
+            baseline_scheme if baseline_scheme is not None else baseline(),
+            baseline_machine if baseline_machine is not None else machine,
+            instrument=None,
+        )
+        target = self.stats(app, scheme, machine, instrument)
+        return target.cycles / ref.cycles

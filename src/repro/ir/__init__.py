@@ -1,0 +1,85 @@
+"""A self-contained register-machine IR standing in for LLVM bitcode.
+
+The paper's compiler operates on LLVM IR; every cWSP pass in this
+reproduction (alias analysis, liveness, idempotent region formation,
+checkpoint insertion and pruning) operates on this mini-IR instead.  The
+IR is deliberately close to the assembly vocabulary the paper's figures
+use: unlimited virtual registers, 64-bit integer values, explicit
+``load``/``store`` with base+offset addressing, calls, conditional
+branches, atomics and fences, plus the two instructions the cWSP
+compiler inserts -- ``boundary`` (region boundary) and ``ckpt``
+(register checkpoint).
+"""
+
+from repro.ir.values import Imm, Operand, Reg
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Boundary,
+    Branch,
+    Call,
+    Checkpoint,
+    CondBranch,
+    Const,
+    Fence,
+    Instr,
+    Load,
+    Output,
+    Ret,
+    Store,
+    BINARY_OPS,
+    COMPARE_OPS,
+)
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_instr, print_module
+from repro.ir.parser import ParseError, parse_module
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+from repro.ir.interpreter import (
+    InterpreterError,
+    Interpreter,
+    MachineState,
+    Memory,
+    TraceEvent,
+)
+
+__all__ = [
+    "Alloca",
+    "AtomicRMW",
+    "BINARY_OPS",
+    "BasicBlock",
+    "BinOp",
+    "Boundary",
+    "Branch",
+    "COMPARE_OPS",
+    "Call",
+    "Checkpoint",
+    "CondBranch",
+    "Const",
+    "Fence",
+    "Function",
+    "IRBuilder",
+    "Imm",
+    "Instr",
+    "Interpreter",
+    "InterpreterError",
+    "Load",
+    "MachineState",
+    "Memory",
+    "Module",
+    "Operand",
+    "Output",
+    "ParseError",
+    "Reg",
+    "Ret",
+    "Store",
+    "TraceEvent",
+    "VerificationError",
+    "parse_module",
+    "print_function",
+    "print_instr",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,195 @@
+"""A fluent builder for constructing IR programs in Python code.
+
+Used by the workload kernels and the runtime library, and handy in
+tests.  The builder tracks a current insertion block; every emit method
+returns the destination register (or the instruction for non-defining
+ops) so kernels read naturally::
+
+    b = IRBuilder(module)
+    fn = b.function("sum", ["n"])
+    ...
+    total = b.add(total, item)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Boundary,
+    Branch,
+    Call,
+    Checkpoint,
+    CondBranch,
+    Const,
+    Fence,
+    Instr,
+    Load,
+    Output,
+    Ret,
+    Store,
+)
+from repro.ir.values import Imm, Operand, Reg, as_operand
+
+RegOrInt = Union[Reg, Imm, int]
+
+
+class IRBuilder:
+    """Builds functions into *module*, one insertion point at a time."""
+
+    def __init__(self, module: Optional[Module] = None) -> None:
+        self.module = module if module is not None else Module()
+        self.fn: Optional[Function] = None
+        self.block: Optional[BasicBlock] = None
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def function(self, name: str, params: Sequence[str] = ()) -> Function:
+        """Start a new function with an ``entry`` block selected."""
+        fn = Function(name, [Reg(p) for p in params])
+        self.module.add_function(fn)
+        self.fn = fn
+        self.block = fn.add_block("entry")
+        return fn
+
+    def add_block(self, name: str) -> BasicBlock:
+        assert self.fn is not None, "no current function"
+        return self.fn.add_block(name)
+
+    def set_block(self, block: Union[BasicBlock, str]) -> BasicBlock:
+        assert self.fn is not None, "no current function"
+        if isinstance(block, str):
+            block = self.fn.blocks[block]
+        self.block = block
+        return block
+
+    def fresh(self, hint: str = "t") -> Reg:
+        """A register name guaranteed unused by this builder."""
+        self._fresh += 1
+        return Reg(f"{hint}.{self._fresh}")
+
+    def _emit(self, instr: Instr) -> Instr:
+        assert self.fn is not None and self.block is not None, "no insertion point"
+        return self.fn.add_instr(self.block, instr)
+
+    # ------------------------------------------------------------------
+    # Values and arithmetic
+    # ------------------------------------------------------------------
+    def const(self, value: int, rd: Optional[Reg] = None) -> Reg:
+        rd = rd or self.fresh("c")
+        self._emit(Const(rd, value))
+        return rd
+
+    def binop(self, op: str, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        rd = rd or self.fresh(op)
+        self._emit(BinOp(op, rd, as_operand(lhs), as_operand(rhs)))
+        return rd
+
+    def add(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("add", lhs, rhs, rd)
+
+    def sub(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("sub", lhs, rhs, rd)
+
+    def mul(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("mul", lhs, rhs, rd)
+
+    def sdiv(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("sdiv", lhs, rhs, rd)
+
+    def srem(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("srem", lhs, rhs, rd)
+
+    def and_(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("and", lhs, rhs, rd)
+
+    def or_(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("or", lhs, rhs, rd)
+
+    def xor(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("xor", lhs, rhs, rd)
+
+    def shl(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("shl", lhs, rhs, rd)
+
+    def lshr(self, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop("lshr", lhs, rhs, rd)
+
+    def cmp(self, op: str, lhs: RegOrInt, rhs: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        return self.binop(op, lhs, rhs, rd)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloca(self, size: int, rd: Optional[Reg] = None) -> Reg:
+        rd = rd or self.fresh("slot")
+        self._emit(Alloca(rd, size))
+        return rd
+
+    def load(self, addr: RegOrInt, offset: int = 0, rd: Optional[Reg] = None) -> Reg:
+        rd = rd or self.fresh("v")
+        self._emit(Load(rd, as_operand(addr), offset))
+        return rd
+
+    def store(self, value: RegOrInt, addr: RegOrInt, offset: int = 0) -> Instr:
+        return self._emit(Store(as_operand(value), as_operand(addr), offset))
+
+    def atomic(self, op: str, addr: RegOrInt, value: RegOrInt, rd: Optional[Reg] = None) -> Reg:
+        rd = rd or self.fresh("a")
+        self._emit(AtomicRMW(rd, op, as_operand(addr), as_operand(value)))
+        return rd
+
+    def fence(self) -> Instr:
+        return self._emit(Fence())
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def br(self, target: Union[BasicBlock, str]) -> Instr:
+        name = target.name if isinstance(target, BasicBlock) else target
+        return self._emit(Branch(name))
+
+    def cbr(
+        self,
+        cond: RegOrInt,
+        if_true: Union[BasicBlock, str],
+        if_false: Union[BasicBlock, str],
+    ) -> Instr:
+        t = if_true.name if isinstance(if_true, BasicBlock) else if_true
+        f = if_false.name if isinstance(if_false, BasicBlock) else if_false
+        return self._emit(CondBranch(as_operand(cond), t, f))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[RegOrInt] = (),
+        rd: Optional[Reg] = None,
+        void: bool = False,
+    ) -> Optional[Reg]:
+        if void:
+            self._emit(Call(None, callee, [as_operand(a) for a in args]))
+            return None
+        rd = rd or self.fresh("r")
+        self._emit(Call(rd, callee, [as_operand(a) for a in args]))
+        return rd
+
+    def ret(self, value: Optional[RegOrInt] = None) -> Instr:
+        return self._emit(Ret(as_operand(value) if value is not None else None))
+
+    def out(self, value: RegOrInt) -> Instr:
+        return self._emit(Output(as_operand(value)))
+
+    # ------------------------------------------------------------------
+    # cWSP instructions (normally inserted by the compiler passes)
+    # ------------------------------------------------------------------
+    def boundary(self, kind: str = "manual") -> Instr:
+        return self._emit(Boundary(kind))
+
+    def ckpt(self, reg: Reg) -> Instr:
+        return self._emit(Checkpoint(reg))

@@ -1,0 +1,132 @@
+"""Containers: basic blocks, functions, and modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import Instr
+from repro.ir.values import Reg
+
+
+class BasicBlock:
+    """A named, ordered list of instructions ending in a terminator."""
+
+    __slots__ = ("name", "instrs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instrs: List[Instr] = []
+
+    def terminator(self) -> Optional[Instr]:
+        """The final instruction if it is a terminator, else ``None``."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<block {self.name}: {len(self.instrs)} instrs>"
+
+
+class Function:
+    """A function: parameters plus an ordered dict of basic blocks.
+
+    The first block added is the entry block.  ``add_instr`` assigns
+    uids; all mutation of block contents should go through the function
+    so uids stay unique.
+    """
+
+    def __init__(self, name: str, params: Sequence[Reg] = ()) -> None:
+        self.name = name
+        self.params: Tuple[Reg, ...] = tuple(params)
+        self.blocks: Dict[str, BasicBlock] = {}
+        self._next_uid = 0
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return next(iter(self.blocks.values()))
+
+    def add_block(self, name: str) -> BasicBlock:
+        if name in self.blocks:
+            raise ValueError(f"duplicate block {name} in @{self.name}")
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        return block
+
+    def add_instr(self, block: BasicBlock, instr: Instr, index: Optional[int] = None) -> Instr:
+        """Append (or insert at *index*) an instruction, assigning a uid."""
+        instr.uid = self._next_uid
+        self._next_uid += 1
+        if index is None:
+            block.instrs.append(instr)
+        else:
+            block.instrs.insert(index, instr)
+        return instr
+
+    def instructions(self) -> Iterator[Tuple[BasicBlock, Instr]]:
+        """Iterate over all (block, instruction) pairs in layout order."""
+        for block in self.blocks.values():
+            for instr in block.instrs:
+                yield block, instr
+
+    def instr_count(self) -> int:
+        return sum(len(block) for block in self.blocks.values())
+
+    def find_instr(self, uid: int) -> Tuple[BasicBlock, int]:
+        """Locate an instruction by uid; returns (block, index)."""
+        for block in self.blocks.values():
+            for i, instr in enumerate(block.instrs):
+                if instr.uid == uid:
+                    return block, i
+        raise KeyError(f"no instruction with uid {uid} in @{self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<function @{self.name}: {len(self.blocks)} blocks>"
+
+
+class Module:
+    """A translation unit: a set of functions plus compiler metadata.
+
+    ``recovery_slices`` maps a boundary instruction's uid (qualified by
+    function name) to its recovery slice once the cWSP pruning pass has
+    run; ``ckpt_slots`` maps (function, register) to the register's
+    checkpoint slot index in NVM checkpoint storage.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        # Populated by repro.compiler passes:
+        self.recovery_slices: Dict[Tuple[str, int], object] = {}
+        self.ckpt_slots: Dict[Tuple[str, str], int] = {}
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function @{fn.name}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def get(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function @{name} in module {self.name}") from None
+
+    def ckpt_slot(self, func: str, reg: Reg) -> int:
+        """Checkpoint slot index for *reg* in *func*, allocating if new."""
+        key = (func, reg.name)
+        slot = self.ckpt_slots.get(key)
+        if slot is None:
+            slot = len(self.ckpt_slots)
+            self.ckpt_slots[key] = slot
+        return slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<module {self.name}: {len(self.functions)} functions>"

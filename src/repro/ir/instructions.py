@@ -1,0 +1,320 @@
+"""Instruction classes for the mini-IR.
+
+Each instruction knows its register uses and (optional) definition,
+which is all the compiler passes need.  Instructions get a unique id
+(``uid``) when attached to a function; uids identify instructions in
+analysis results, recovery-slice metadata, and traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.ir.values import Imm, Operand, Reg
+
+#: Arithmetic / bitwise binary operators.
+BINARY_OPS = frozenset(
+    {"add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "lshr", "ashr"}
+)
+
+#: Comparison operators (produce 0 or 1).
+COMPARE_OPS = frozenset({"eq", "ne", "slt", "sle", "sgt", "sge"})
+
+
+class Instr:
+    """Base class for all instructions."""
+
+    __slots__ = ("uid",)
+
+    #: Subclasses that end a basic block.
+    is_terminator = False
+    #: Subclasses that read or write memory.
+    touches_memory = False
+
+    def __init__(self) -> None:
+        self.uid: int = -1
+
+    def dest(self) -> Optional[Reg]:
+        """The register this instruction defines, or ``None``."""
+        return None
+
+    def uses(self) -> Iterator[Reg]:
+        """Registers this instruction reads."""
+        return iter(())
+
+    def operands(self) -> Sequence[Operand]:
+        """All operands, registers and immediates alike."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.ir.printer import print_instr
+
+        return f"<{print_instr(self)}>"
+
+
+def _reg_uses(*operands: Operand) -> Iterator[Reg]:
+    for op in operands:
+        if isinstance(op, Reg):
+            yield op
+
+
+class Const(Instr):
+    """``dest = const imm`` -- materialize an immediate."""
+
+    __slots__ = ("rd", "value")
+
+    def __init__(self, rd: Reg, value: int) -> None:
+        super().__init__()
+        self.rd = rd
+        self.value = value
+
+    def dest(self) -> Optional[Reg]:
+        return self.rd
+
+
+class BinOp(Instr):
+    """``dest = op lhs, rhs`` -- arithmetic, bitwise, or comparison."""
+
+    __slots__ = ("op", "rd", "lhs", "rhs")
+
+    def __init__(self, op: str, rd: Reg, lhs: Operand, rhs: Operand) -> None:
+        super().__init__()
+        if op not in BINARY_OPS and op not in COMPARE_OPS:
+            raise ValueError(f"unknown binary op: {op}")
+        self.op = op
+        self.rd = rd
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def dest(self) -> Optional[Reg]:
+        return self.rd
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(self.lhs, self.rhs)
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.lhs, self.rhs)
+
+
+class Load(Instr):
+    """``dest = load [addr + offset]`` -- 8-byte load."""
+
+    __slots__ = ("rd", "addr", "offset")
+    touches_memory = True
+
+    def __init__(self, rd: Reg, addr: Operand, offset: int = 0) -> None:
+        super().__init__()
+        self.rd = rd
+        self.addr = addr
+        self.offset = offset
+
+    def dest(self) -> Optional[Reg]:
+        return self.rd
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(self.addr)
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.addr,)
+
+
+class Store(Instr):
+    """``store value, [addr + offset]`` -- 8-byte store."""
+
+    __slots__ = ("value", "addr", "offset")
+    touches_memory = True
+
+    def __init__(self, value: Operand, addr: Operand, offset: int = 0) -> None:
+        super().__init__()
+        self.value = value
+        self.addr = addr
+        self.offset = offset
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(self.value, self.addr)
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.value, self.addr)
+
+
+class Alloca(Instr):
+    """``dest = alloca size`` -- reserve *size* bytes of stack storage."""
+
+    __slots__ = ("rd", "size")
+
+    def __init__(self, rd: Reg, size: int) -> None:
+        super().__init__()
+        if size <= 0 or size % 8 != 0:
+            raise ValueError("alloca size must be a positive multiple of 8")
+        self.rd = rd
+        self.size = size
+
+    def dest(self) -> Optional[Reg]:
+        return self.rd
+
+
+class Branch(Instr):
+    """``br target`` -- unconditional branch."""
+
+    __slots__ = ("target",)
+    is_terminator = True
+
+    def __init__(self, target: str) -> None:
+        super().__init__()
+        self.target = target
+
+
+class CondBranch(Instr):
+    """``cbr cond, if_true, if_false`` -- branch on nonzero."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+    is_terminator = True
+
+    def __init__(self, cond: Operand, if_true: str, if_false: str) -> None:
+        super().__init__()
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(self.cond)
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.cond,)
+
+
+class Call(Instr):
+    """``dest = call @callee(args...)`` -- direct call; dest optional."""
+
+    __slots__ = ("rd", "callee", "args")
+    touches_memory = True  # conservatively: callee may read/write memory
+
+    def __init__(self, rd: Optional[Reg], callee: str, args: Sequence[Operand] = ()) -> None:
+        super().__init__()
+        self.rd = rd
+        self.callee = callee
+        self.args = tuple(args)
+
+    def dest(self) -> Optional[Reg]:
+        return self.rd
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(*self.args)
+
+    def operands(self) -> Sequence[Operand]:
+        return self.args
+
+
+class Ret(Instr):
+    """``ret value?`` -- return from the current function."""
+
+    __slots__ = ("value",)
+    is_terminator = True
+
+    def __init__(self, value: Optional[Operand] = None) -> None:
+        super().__init__()
+        self.value = value
+
+    def uses(self) -> Iterator[Reg]:
+        if self.value is not None:
+            return _reg_uses(self.value)
+        return iter(())
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.value,) if self.value is not None else ()
+
+
+class AtomicRMW(Instr):
+    """``dest = atomic op, [addr], value`` -- atomic read-modify-write.
+
+    Synchronization point: the cWSP compiler treats it as a region
+    boundary (Section IV-A / Section VIII of the paper).
+    """
+
+    __slots__ = ("rd", "op", "addr", "value")
+    touches_memory = True
+
+    def __init__(self, rd: Reg, op: str, addr: Operand, value: Operand) -> None:
+        super().__init__()
+        if op not in ("add", "xchg", "and", "or", "xor"):
+            raise ValueError(f"unknown atomic op: {op}")
+        self.rd = rd
+        self.op = op
+        self.addr = addr
+        self.value = value
+
+    def dest(self) -> Optional[Reg]:
+        return self.rd
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(self.addr, self.value)
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.addr, self.value)
+
+
+class Fence(Instr):
+    """``fence`` -- memory fence; a synchronization region boundary."""
+
+    __slots__ = ()
+
+
+class Output(Instr):
+    """``out value`` -- append *value* to the program's observable output.
+
+    Used by tests to compare failure-free and post-recovery executions.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Operand) -> None:
+        super().__init__()
+        self.value = value
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(self.value)
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.value,)
+
+
+class Boundary(Instr):
+    """``boundary`` -- a region boundary inserted by the cWSP compiler.
+
+    Carries the static boundary id (used to look up the recovery slice,
+    mirroring the RS Pointer encoded in the paper's region boundary
+    instruction) and the reason the boundary exists, for diagnostics.
+    """
+
+    __slots__ = ("kind",)
+
+    KINDS = ("entry", "call", "post_call", "loop", "antidep", "sync", "manual")
+
+    def __init__(self, kind: str = "manual") -> None:
+        super().__init__()
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown boundary kind: {kind}")
+        self.kind = kind
+
+
+class Checkpoint(Instr):
+    """``ckpt reg`` -- checkpoint a live-out register to NVM.
+
+    Lowered by the interpreter to a store into the per-function
+    checkpoint slot for ``reg``; it therefore flows through the same
+    persist machinery as any other store, exactly as in the paper
+    ("essentially store instructions", Section IV-C).
+    """
+
+    __slots__ = ("reg",)
+    touches_memory = True
+
+    def __init__(self, reg: Reg) -> None:
+        super().__init__()
+        self.reg = reg
+
+    def uses(self) -> Iterator[Reg]:
+        return _reg_uses(self.reg)
+
+    def operands(self) -> Sequence[Operand]:
+        return (self.reg,)

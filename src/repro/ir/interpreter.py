@@ -1,0 +1,465 @@
+"""Functional interpreter for the mini-IR.
+
+Executes a module and emits a committed-instruction event stream -- the
+same role gem5's commit stage plays for the paper's evaluation.  The
+stream drives both the timing simulator (:mod:`repro.arch`) and the
+functional persistence model used for power-failure recovery testing
+(:mod:`repro.recovery`).
+
+Address-space layout (flat, 64-bit, word-granular):
+
+====================  ==========================================
+``CKPT_BASE``         register checkpoint storage (cWSP hardware-
+                      managed NVM region, Section IV-B)
+``GLOBAL_BASE``       module globals / workload data
+``HEAP_BASE``         ``sbrk`` heap
+``STACK_BASE``        call stack (grows down)
+====================  ==========================================
+
+Checkpoints (``ckpt r``) lower to ordinary stores into
+``CKPT_BASE + slot*8`` so they travel the persist path like any store.
+When ``spill_args`` is enabled (the compiled-binary configuration), a
+call also writes each argument into the callee parameter's checkpoint
+slot, modelling the ABI/checkpoint behaviour that makes function
+live-ins recoverable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Boundary,
+    Branch,
+    Call,
+    Checkpoint,
+    CondBranch,
+    Const,
+    Fence,
+    Instr,
+    Load,
+    Output,
+    Ret,
+    Store,
+)
+from repro.ir.values import Imm, Operand, Reg, to_s64
+
+CKPT_BASE = 0x0F00_0000
+GLOBAL_BASE = 0x0800_0000
+HEAP_BASE = 0x1000_0000
+STACK_BASE = 0x7F00_0000
+
+#: Functions resolved natively by the interpreter instead of IR.
+INTRINSICS = ("sbrk", "nv_malloc", "nv_free", "halt")
+
+
+class InterpreterError(RuntimeError):
+    """Raised on runtime faults: bad address, div-by-zero, step limit."""
+
+
+class Memory:
+    """Flat word-addressed memory; uninitialized words read as zero."""
+
+    __slots__ = ("words",)
+
+    def __init__(self, words: Optional[Dict[int, int]] = None) -> None:
+        self.words: Dict[int, int] = dict(words) if words else {}
+
+    def load(self, addr: int) -> int:
+        if addr % 8 != 0 or addr <= 0:
+            raise InterpreterError(f"bad load address {addr:#x}")
+        return self.words.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        if addr % 8 != 0 or addr <= 0:
+            raise InterpreterError(f"bad store address {addr:#x}")
+        self.words[addr] = to_s64(value)
+
+    def copy(self) -> "Memory":
+        return Memory(self.words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        # Zero-valued words are indistinguishable from absent ones.
+        keys = self.words.keys() | other.words.keys()
+        return all(self.words.get(k, 0) == other.words.get(k, 0) for k in keys)
+
+    def __hash__(self) -> int:  # pragma: no cover - unhashable by intent
+        raise TypeError("Memory is mutable and unhashable")
+
+
+class Frame:
+    """One call-stack frame."""
+
+    __slots__ = ("fn", "block", "idx", "regs", "saved_sp", "ret_reg")
+
+    def __init__(
+        self,
+        fn: Function,
+        regs: Optional[Dict[Reg, int]] = None,
+        saved_sp: int = STACK_BASE,
+        ret_reg: Optional[Reg] = None,
+    ) -> None:
+        self.fn = fn
+        self.block = fn.entry
+        self.idx = 0
+        self.regs: Dict[Reg, int] = regs if regs is not None else {}
+        self.saved_sp = saved_sp
+        self.ret_reg = ret_reg  # caller register receiving our return value
+
+
+class MachineState:
+    """Complete interpreter state: frames + memory + output + clock.
+
+    ``ckpt_base`` is the base of this hardware context's register
+    checkpoint storage; multi-threaded executions give each thread its
+    own region (checkpoint storage is per-core in cWSP).
+    """
+
+    __slots__ = ("frames", "memory", "output", "steps", "sp", "brk", "ckpt_base")
+
+    def __init__(self) -> None:
+        self.frames: List[Frame] = []
+        self.memory = Memory()
+        self.output: List[int] = []
+        self.steps = 0
+        self.sp = STACK_BASE
+        self.brk = HEAP_BASE
+        self.ckpt_base = CKPT_BASE
+
+
+class TraceEvent:
+    """One committed instruction, as seen by the memory system.
+
+    ``kind`` is one of ``alu``, ``load``, ``store``, ``boundary``,
+    ``fence``, ``atomic``, ``out``, ``call``, ``ret``.  ``addr`` and
+    ``value`` are set for memory kinds; ``uid`` identifies the static
+    instruction; ``is_ckpt`` marks checkpoint stores.
+    """
+
+    __slots__ = ("kind", "addr", "value", "uid", "func", "is_ckpt")
+
+    def __init__(
+        self,
+        kind: str,
+        addr: int = 0,
+        value: int = 0,
+        uid: int = -1,
+        func: str = "",
+        is_ckpt: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.value = value
+        self.uid = uid
+        self.func = func
+        self.is_ckpt = is_ckpt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} @{self.func}#{self.uid} addr={self.addr:#x} val={self.value}>"
+
+
+EventHook = Callable[[TraceEvent], None]
+BoundaryHook = Callable[[TraceEvent, MachineState], None]
+
+
+class Interpreter:
+    """Executes a module, emitting trace events.
+
+    Parameters
+    ----------
+    module:
+        The program.  Compiled modules carry ``ckpt_slots`` metadata.
+    spill_args:
+        If true, calls spill argument values into the callee parameters'
+        checkpoint slots (the compiled-binary ABI); enable when running
+        cWSP-compiled modules so function live-ins are recoverable.
+    """
+
+    def __init__(self, module: Module, spill_args: bool = False) -> None:
+        self.module = module
+        self.spill_args = spill_args
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        entry: str = "main",
+        args: Tuple[int, ...] = (),
+        max_steps: int = 10_000_000,
+        on_event: Optional[EventHook] = None,
+        on_boundary: Optional[BoundaryHook] = None,
+    ) -> MachineState:
+        """Run ``entry(*args)`` to completion; return the final state."""
+        state = MachineState()
+        fn = self.module.get(entry)
+        if len(args) != len(fn.params):
+            raise InterpreterError(
+                f"@{entry} takes {len(fn.params)} args, got {len(args)}"
+            )
+        regs = {p: to_s64(a) for p, a in zip(fn.params, args)}
+        state.frames.append(Frame(fn, regs, saved_sp=state.sp))
+        if self.spill_args:
+            for p in fn.params:
+                self._spill(state, entry, p, regs[p], on_event)
+        return self.resume(state, max_steps, on_event, on_boundary)
+
+    def run_trace(
+        self,
+        entry: str = "main",
+        args: Tuple[int, ...] = (),
+        max_steps: int = 10_000_000,
+    ) -> Tuple[MachineState, List[TraceEvent]]:
+        """Run and collect the full event list (small programs only)."""
+        events: List[TraceEvent] = []
+        state = self.run(entry, args, max_steps, on_event=events.append)
+        return state, events
+
+    def resume(
+        self,
+        state: MachineState,
+        max_steps: int = 10_000_000,
+        on_event: Optional[EventHook] = None,
+        on_boundary: Optional[BoundaryHook] = None,
+    ) -> MachineState:
+        """Continue executing *state* until the outermost frame returns."""
+        limit = state.steps + max_steps
+        while state.frames:
+            if state.steps >= limit:
+                raise InterpreterError(f"step limit {max_steps} exceeded")
+            frame = state.frames[-1]
+            if frame.idx >= len(frame.block.instrs):
+                raise InterpreterError(
+                    f"fell off block {frame.block.name} in @{frame.fn.name}"
+                )
+            instr = frame.block.instrs[frame.idx]
+            frame.idx += 1
+            state.steps += 1
+            self._step(state, frame, instr, on_event, on_boundary)
+        return state
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _value(self, frame: Frame, op: Operand) -> int:
+        if type(op) is Imm:
+            return op.value
+        try:
+            return frame.regs[op]
+        except KeyError:
+            raise InterpreterError(
+                f"use of undefined register %{op.name} in @{frame.fn.name}"
+            ) from None
+
+    def _spill(
+        self,
+        state: MachineState,
+        func: str,
+        reg: Reg,
+        value: int,
+        on_event: Optional[EventHook],
+    ) -> None:
+        """Write *value* into the checkpoint slot of (func, reg)."""
+        addr = state.ckpt_base + self.module.ckpt_slot(func, reg) * 8
+        state.memory.store(addr, value)
+        if on_event is not None:
+            on_event(TraceEvent("store", addr, value, -1, func, is_ckpt=True))
+
+    def _step(
+        self,
+        state: MachineState,
+        frame: Frame,
+        instr: Instr,
+        on_event: Optional[EventHook],
+        on_boundary: Optional[BoundaryHook],
+    ) -> None:
+        cls = type(instr)
+        fn_name = frame.fn.name
+
+        if cls is Const:
+            frame.regs[instr.rd] = to_s64(instr.value)
+            if on_event is not None:
+                on_event(TraceEvent("alu", uid=instr.uid, func=fn_name))
+        elif cls is BinOp:
+            lhs = self._value(frame, instr.lhs)
+            rhs = self._value(frame, instr.rhs)
+            frame.regs[instr.rd] = eval_binop(instr.op, lhs, rhs)
+            if on_event is not None:
+                on_event(TraceEvent("alu", uid=instr.uid, func=fn_name))
+        elif cls is Load:
+            addr = self._value(frame, instr.addr) + instr.offset
+            value = state.memory.load(addr)
+            frame.regs[instr.rd] = value
+            if on_event is not None:
+                on_event(TraceEvent("load", addr, value, instr.uid, fn_name))
+        elif cls is Store:
+            addr = self._value(frame, instr.addr) + instr.offset
+            value = self._value(frame, instr.value)
+            state.memory.store(addr, value)
+            if on_event is not None:
+                on_event(TraceEvent("store", addr, value, instr.uid, fn_name))
+        elif cls is Checkpoint:
+            value = self._value(frame, instr.reg)
+            addr = state.ckpt_base + self.module.ckpt_slot(fn_name, instr.reg) * 8
+            state.memory.store(addr, value)
+            if on_event is not None:
+                on_event(TraceEvent("store", addr, value, instr.uid, fn_name, is_ckpt=True))
+        elif cls is Boundary:
+            # on_boundary fires first so a snapshot hook sees the state
+            # before an on_event hook can abort the run (power failure
+            # injection): the boundary commit is atomic with its
+            # snapshot, as RBT-entry allocation is in hardware.
+            event = TraceEvent("boundary", uid=instr.uid, func=fn_name)
+            if on_boundary is not None:
+                on_boundary(event, state)
+            if on_event is not None:
+                on_event(event)
+        elif cls is Branch:
+            frame.block = frame.fn.blocks[instr.target]
+            frame.idx = 0
+            if on_event is not None:
+                on_event(TraceEvent("alu", uid=instr.uid, func=fn_name))
+        elif cls is CondBranch:
+            cond = self._value(frame, instr.cond)
+            target = instr.if_true if cond != 0 else instr.if_false
+            frame.block = frame.fn.blocks[target]
+            frame.idx = 0
+            if on_event is not None:
+                on_event(TraceEvent("alu", uid=instr.uid, func=fn_name))
+        elif cls is Alloca:
+            state.sp -= instr.size
+            frame.regs[instr.rd] = state.sp
+            if on_event is not None:
+                on_event(TraceEvent("alu", uid=instr.uid, func=fn_name))
+        elif cls is Call:
+            self._do_call(state, frame, instr, on_event)
+        elif cls is Ret:
+            value = self._value(frame, instr.value) if instr.value is not None else 0
+            state.sp = frame.saved_sp
+            state.frames.pop()
+            if state.frames and frame.ret_reg is not None:
+                state.frames[-1].regs[frame.ret_reg] = value
+            if on_event is not None:
+                on_event(TraceEvent("ret", value=value, uid=instr.uid, func=fn_name))
+        elif cls is AtomicRMW:
+            addr = self._value(frame, instr.addr)
+            operand = self._value(frame, instr.value)
+            old = state.memory.load(addr)
+            new = operand if instr.op == "xchg" else eval_binop(instr.op, old, operand)
+            state.memory.store(addr, new)
+            frame.regs[instr.rd] = old
+            if on_event is not None:
+                on_event(TraceEvent("atomic", addr, new, instr.uid, fn_name))
+        elif cls is Fence:
+            if on_event is not None:
+                on_event(TraceEvent("fence", uid=instr.uid, func=fn_name))
+        elif cls is Output:
+            value = self._value(frame, instr.value)
+            state.output.append(value)
+            if on_event is not None:
+                on_event(TraceEvent("out", value=value, uid=instr.uid, func=fn_name))
+        else:  # pragma: no cover - all instruction types handled above
+            raise InterpreterError(f"cannot execute {cls.__name__}")
+
+    def _do_call(
+        self,
+        state: MachineState,
+        frame: Frame,
+        instr: Call,
+        on_event: Optional[EventHook],
+    ) -> None:
+        args = [self._value(frame, a) for a in instr.args]
+        fn_name = frame.fn.name
+        # A module-defined function shadows the same-named intrinsic
+        # (e.g. the IR libc's sbrk replaces the native one).
+        is_intrinsic = (
+            instr.callee in INTRINSICS and instr.callee not in self.module.functions
+        )
+        if on_event is not None:
+            kind = "icall" if is_intrinsic else "call"
+            on_event(TraceEvent(kind, uid=instr.uid, func=fn_name))
+        if is_intrinsic:
+            result = self._intrinsic(state, instr.callee, args)
+            if instr.rd is not None:
+                frame.regs[instr.rd] = result
+            return
+        callee = self.module.get(instr.callee)
+        if len(args) != len(callee.params):
+            raise InterpreterError(
+                f"@{instr.callee} takes {len(callee.params)} args, got {len(args)}"
+            )
+        regs = dict(zip(callee.params, args))
+        if self.spill_args:
+            for p, v in zip(callee.params, args):
+                self._spill(state, instr.callee, p, v, on_event)
+        state.frames.append(Frame(callee, regs, saved_sp=state.sp, ret_reg=instr.rd))
+
+    def _intrinsic(self, state: MachineState, name: str, args: List[int]) -> int:
+        if name == "sbrk":
+            (amount,) = args
+            if amount < 0 or amount % 8 != 0:
+                raise InterpreterError(f"sbrk({amount}): need non-negative multiple of 8")
+            old = state.brk
+            state.brk += amount
+            return old
+        if name == "nv_malloc":
+            (size,) = args
+            size = (size + 7) & ~7
+            old = state.brk
+            state.brk += max(size, 8)
+            return old
+        if name == "nv_free":
+            return 0  # bump allocator: free is a no-op
+        if name == "halt":
+            state.frames.clear()
+            return 0
+        raise InterpreterError(f"unknown intrinsic @{name}")  # pragma: no cover
+
+
+def eval_binop(op: str, lhs: int, rhs: int) -> int:
+    """Evaluate a binary/compare op on signed 64-bit values."""
+    if op == "add":
+        return to_s64(lhs + rhs)
+    if op == "sub":
+        return to_s64(lhs - rhs)
+    if op == "mul":
+        return to_s64(lhs * rhs)
+    if op == "sdiv":
+        if rhs == 0:
+            raise InterpreterError("division by zero")
+        return to_s64(int(lhs / rhs))  # trunc toward zero, like hardware
+    if op == "srem":
+        if rhs == 0:
+            raise InterpreterError("remainder by zero")
+        return to_s64(lhs - int(lhs / rhs) * rhs)
+    if op == "and":
+        return to_s64(lhs & rhs)
+    if op == "or":
+        return to_s64(lhs | rhs)
+    if op == "xor":
+        return to_s64(lhs ^ rhs)
+    if op == "shl":
+        return to_s64(lhs << (rhs & 63))
+    if op == "lshr":
+        return to_s64((lhs & ((1 << 64) - 1)) >> (rhs & 63))
+    if op == "ashr":
+        return to_s64(lhs >> (rhs & 63))
+    if op == "eq":
+        return 1 if lhs == rhs else 0
+    if op == "ne":
+        return 1 if lhs != rhs else 0
+    if op == "slt":
+        return 1 if lhs < rhs else 0
+    if op == "sle":
+        return 1 if lhs <= rhs else 0
+    if op == "sgt":
+        return 1 if lhs > rhs else 0
+    if op == "sge":
+        return 1 if lhs >= rhs else 0
+    raise InterpreterError(f"unknown op {op}")  # pragma: no cover

@@ -1,0 +1,191 @@
+"""Parser for the textual IR form produced by :mod:`repro.ir.printer`.
+
+The grammar is line-oriented: one instruction per line, ``name:`` lines
+open blocks, ``func @name(%a, %b) {`` / ``}`` delimit functions.  ``#``
+starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BINARY_OPS,
+    BinOp,
+    Boundary,
+    Branch,
+    COMPARE_OPS,
+    Call,
+    Checkpoint,
+    CondBranch,
+    Const,
+    Fence,
+    Instr,
+    Load,
+    Output,
+    Ret,
+    Store,
+)
+from repro.ir.values import Imm, Operand, Reg
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR text, with a line number."""
+
+    def __init__(self, message: str, lineno: int) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_FUNC_RE = re.compile(r"^func\s+@([\w.]+)\s*\(([^)]*)\)\s*\{$")
+_BLOCK_RE = re.compile(r"^([\w.]+):$")
+_ASSIGN_RE = re.compile(r"^%([\w.]+)\s*=\s*(.+)$")
+_MEM_RE = re.compile(r"^\[\s*(%[\w.]+|-?\d+)\s*([+-]\s*\d+)?\s*\]$")
+_CALL_RE = re.compile(r"^call\s+@([\w.]+)\s*\(([^)]*)\)$")
+
+
+def _parse_operand(text: str, lineno: int) -> Operand:
+    text = text.strip()
+    if text.startswith("%"):
+        return Reg(text[1:])
+    try:
+        return Imm(int(text, 0))
+    except ValueError:
+        raise ParseError(f"bad operand {text!r}", lineno) from None
+
+
+def _parse_mem(text: str, lineno: int) -> Tuple[Operand, int]:
+    m = _MEM_RE.match(text.strip())
+    if not m:
+        raise ParseError(f"bad memory operand {text!r}", lineno)
+    addr = _parse_operand(m.group(1), lineno)
+    offset = int(m.group(2).replace(" ", "")) if m.group(2) else 0
+    return addr, offset
+
+
+def _split_args(text: str) -> List[str]:
+    text = text.strip()
+    return [a.strip() for a in text.split(",")] if text else []
+
+
+def _parse_rhs(rd: Reg, rhs: str, lineno: int) -> Instr:
+    """Parse the right-hand side of ``%rd = ...``."""
+    parts = rhs.split(None, 1)
+    op = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if op == "const":
+        return Const(rd, int(rest.strip(), 0))
+    if op in BINARY_OPS or op in COMPARE_OPS:
+        args = _split_args(rest)
+        if len(args) != 2:
+            raise ParseError(f"{op} needs 2 operands", lineno)
+        return BinOp(op, rd, _parse_operand(args[0], lineno), _parse_operand(args[1], lineno))
+    if op == "load":
+        addr, offset = _parse_mem(rest, lineno)
+        return Load(rd, addr, offset)
+    if op == "alloca":
+        return Alloca(rd, int(rest.strip(), 0))
+    if op == "call":
+        m = _CALL_RE.match(rhs.strip())
+        if not m:
+            raise ParseError(f"bad call {rhs!r}", lineno)
+        args = [_parse_operand(a, lineno) for a in _split_args(m.group(2))]
+        return Call(rd, m.group(1), args)
+    if op == "atomic":
+        args = _split_args(rest)
+        if len(args) != 3:
+            raise ParseError("atomic needs: op, [addr], value", lineno)
+        addr, offset = _parse_mem(args[1], lineno)
+        if offset:
+            raise ParseError("atomic does not take an offset", lineno)
+        return AtomicRMW(rd, args[0], addr, _parse_operand(args[2], lineno))
+    raise ParseError(f"unknown instruction {op!r}", lineno)
+
+
+def _parse_instr(line: str, lineno: int) -> Instr:
+    m = _ASSIGN_RE.match(line)
+    if m:
+        return _parse_rhs(Reg(m.group(1)), m.group(2).strip(), lineno)
+    parts = line.split(None, 1)
+    op = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if op == "store":
+        args = _split_args(rest)
+        if len(args) != 2:
+            raise ParseError("store needs: value, [addr]", lineno)
+        value = _parse_operand(args[0], lineno)
+        addr, offset = _parse_mem(args[1], lineno)
+        return Store(value, addr, offset)
+    if op == "br":
+        return Branch(rest.strip())
+    if op == "cbr":
+        args = _split_args(rest)
+        if len(args) != 3:
+            raise ParseError("cbr needs: cond, if_true, if_false", lineno)
+        return CondBranch(_parse_operand(args[0], lineno), args[1], args[2])
+    if op == "ret":
+        return Ret(_parse_operand(rest, lineno) if rest.strip() else None)
+    if op == "call":
+        m = _CALL_RE.match(line)
+        if not m:
+            raise ParseError(f"bad call {line!r}", lineno)
+        args = [_parse_operand(a, lineno) for a in _split_args(m.group(2))]
+        return Call(None, m.group(1), args)
+    if op == "fence":
+        return Fence()
+    if op == "out":
+        return Output(_parse_operand(rest, lineno))
+    if op == "boundary":
+        return Boundary(rest.strip() or "manual")
+    if op == "ckpt":
+        operand = _parse_operand(rest, lineno)
+        if not isinstance(operand, Reg):
+            raise ParseError("ckpt takes a register", lineno)
+        return Checkpoint(operand)
+    raise ParseError(f"unknown instruction {op!r}", lineno)
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse *text* into a :class:`Module`."""
+    module = Module(name)
+    fn: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            if fn is not None:
+                raise ParseError("nested func", lineno)
+            params = []
+            for p in _split_args(m.group(2)):
+                if not p.startswith("%"):
+                    raise ParseError(f"bad parameter {p!r}", lineno)
+                params.append(Reg(p[1:]))
+            fn = Function(m.group(1), params)
+            block = None
+            continue
+        if line == "}":
+            if fn is None:
+                raise ParseError("unmatched '}'", lineno)
+            module.add_function(fn)
+            fn = None
+            block = None
+            continue
+        if fn is None:
+            raise ParseError("instruction outside function", lineno)
+        m = _BLOCK_RE.match(line)
+        if m:
+            block = fn.add_block(m.group(1))
+            continue
+        if block is None:
+            block = fn.add_block("entry")
+        fn.add_instr(block, _parse_instr(line, lineno))
+    if fn is not None:
+        raise ParseError("unterminated func", lineno)
+    return module

@@ -1,0 +1,93 @@
+"""Textual form of the IR (round-trips with :mod:`repro.ir.parser`)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Boundary,
+    Branch,
+    Call,
+    Checkpoint,
+    CondBranch,
+    Const,
+    Fence,
+    Instr,
+    Load,
+    Output,
+    Ret,
+    Store,
+)
+from repro.ir.values import Imm, Operand, Reg
+
+
+def _op(op: Operand) -> str:
+    if isinstance(op, Reg):
+        return f"%{op.name}"
+    return str(op.value)
+
+
+def _mem(addr: Operand, offset: int) -> str:
+    if offset:
+        return f"[{_op(addr)}+{offset}]" if offset > 0 else f"[{_op(addr)}{offset}]"
+    return f"[{_op(addr)}]"
+
+
+def print_instr(instr: Instr) -> str:
+    """One-line textual form of a single instruction."""
+    if isinstance(instr, Const):
+        return f"%{instr.rd.name} = const {instr.value}"
+    if isinstance(instr, BinOp):
+        return f"%{instr.rd.name} = {instr.op} {_op(instr.lhs)}, {_op(instr.rhs)}"
+    if isinstance(instr, Load):
+        return f"%{instr.rd.name} = load {_mem(instr.addr, instr.offset)}"
+    if isinstance(instr, Store):
+        return f"store {_op(instr.value)}, {_mem(instr.addr, instr.offset)}"
+    if isinstance(instr, Alloca):
+        return f"%{instr.rd.name} = alloca {instr.size}"
+    if isinstance(instr, Branch):
+        return f"br {instr.target}"
+    if isinstance(instr, CondBranch):
+        return f"cbr {_op(instr.cond)}, {instr.if_true}, {instr.if_false}"
+    if isinstance(instr, Call):
+        args = ", ".join(_op(a) for a in instr.args)
+        if instr.rd is not None:
+            return f"%{instr.rd.name} = call @{instr.callee}({args})"
+        return f"call @{instr.callee}({args})"
+    if isinstance(instr, Ret):
+        return f"ret {_op(instr.value)}" if instr.value is not None else "ret"
+    if isinstance(instr, AtomicRMW):
+        return (
+            f"%{instr.rd.name} = atomic {instr.op}, "
+            f"{_mem(instr.addr, 0)}, {_op(instr.value)}"
+        )
+    if isinstance(instr, Fence):
+        return "fence"
+    if isinstance(instr, Output):
+        return f"out {_op(instr.value)}"
+    if isinstance(instr, Boundary):
+        return f"boundary {instr.kind}"
+    if isinstance(instr, Checkpoint):
+        return f"ckpt %{instr.reg.name}"
+    raise TypeError(f"unprintable instruction: {type(instr).__name__}")
+
+
+def print_function(fn: Function) -> str:
+    """Full textual form of a function."""
+    params = ", ".join(f"%{p.name}" for p in fn.params)
+    lines: List[str] = [f"func @{fn.name}({params}) {{"]
+    for block in fn.blocks.values():
+        lines.append(f"{block.name}:")
+        for instr in block.instrs:
+            lines.append(f"  {print_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Full textual form of a module."""
+    return "\n\n".join(print_function(fn) for fn in module.functions.values()) + "\n"

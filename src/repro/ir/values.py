@@ -1,0 +1,80 @@
+"""Operand values: virtual registers and integer immediates.
+
+All values in the IR are 64-bit two's-complement integers.  Pointers are
+plain integers into the interpreter's flat address space, exactly like a
+real machine.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+_UMASK = (1 << 64) - 1
+
+
+def to_u64(value: int) -> int:
+    """Wrap an arbitrary Python int to an unsigned 64-bit value."""
+    return value & _UMASK
+
+
+def to_s64(value: int) -> int:
+    """Wrap an arbitrary Python int to a signed 64-bit value."""
+    value &= _UMASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class Reg:
+    """A virtual register, identified by name (e.g. ``%x``).
+
+    Registers are interned so that equality and hashing are cheap and so
+    a register can be used directly as a dict key in analyses.
+    """
+
+    __slots__ = ("name",)
+    _interned: dict[str, "Reg"] = {}
+
+    def __new__(cls, name: str) -> "Reg":
+        reg = cls._interned.get(name)
+        if reg is None:
+            reg = object.__new__(cls)
+            reg.name = name
+            cls._interned[name] = reg
+        return reg
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+    def __reduce__(self):
+        return (Reg, (self.name,))
+
+
+class Imm:
+    """A 64-bit signed integer immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = to_s64(value)
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Imm) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("imm", self.value))
+
+
+Operand = Union[Reg, Imm]
+
+
+def as_operand(value: Union[Reg, Imm, int]) -> Operand:
+    """Coerce a raw int into an :class:`Imm`; pass registers through."""
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, (Reg, Imm)):
+        return value
+    raise TypeError(f"not an operand: {value!r}")

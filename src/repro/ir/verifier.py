@@ -1,0 +1,75 @@
+"""IR well-formedness checks.
+
+Run after construction and after every compiler pass.  Catches the
+structural mistakes that would otherwise surface as baffling interpreter
+or analysis bugs: missing terminators, branches to unknown blocks,
+mid-block terminators, duplicate uids, calls to unknown functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Branch, Call, CondBranch, Instr, Ret
+
+
+class VerificationError(ValueError):
+    """Raised when a function or module is structurally invalid."""
+
+
+def verify_function(fn: Function, module: Optional[Module] = None) -> None:
+    """Check structural invariants of *fn*; raise on violation.
+
+    If *module* is given, call targets are checked against it (external
+    intrinsics handled by the interpreter are allowed).
+    """
+    from repro.ir.interpreter import INTRINSICS
+
+    if not fn.blocks:
+        raise VerificationError(f"@{fn.name}: no blocks")
+    seen_uids: Set[int] = set()
+    for block in fn.blocks.values():
+        if not block.instrs:
+            raise VerificationError(f"@{fn.name}/{block.name}: empty block")
+        term = block.instrs[-1]
+        if not term.is_terminator:
+            raise VerificationError(
+                f"@{fn.name}/{block.name}: does not end in a terminator"
+            )
+        for i, instr in enumerate(block.instrs):
+            if instr.uid < 0:
+                raise VerificationError(
+                    f"@{fn.name}/{block.name}: instruction without uid "
+                    f"(not added via Function.add_instr)"
+                )
+            if instr.uid in seen_uids:
+                raise VerificationError(f"@{fn.name}: duplicate uid {instr.uid}")
+            seen_uids.add(instr.uid)
+            if instr.is_terminator and i != len(block.instrs) - 1:
+                raise VerificationError(
+                    f"@{fn.name}/{block.name}: terminator mid-block at index {i}"
+                )
+            if isinstance(instr, Branch):
+                _check_target(fn, block.name, instr.target)
+            elif isinstance(instr, CondBranch):
+                _check_target(fn, block.name, instr.if_true)
+                _check_target(fn, block.name, instr.if_false)
+            elif isinstance(instr, Call) and module is not None:
+                if instr.callee not in module.functions and instr.callee not in INTRINSICS:
+                    raise VerificationError(
+                        f"@{fn.name}/{block.name}: call to unknown @{instr.callee}"
+                    )
+
+
+def _check_target(fn: Function, block_name: str, target: str) -> None:
+    if target not in fn.blocks:
+        raise VerificationError(
+            f"@{fn.name}/{block_name}: branch to unknown block {target!r}"
+        )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in *module*."""
+    for fn in module.functions.values():
+        verify_function(fn, module)

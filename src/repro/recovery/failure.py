@@ -1,0 +1,52 @@
+"""Power-failure injection: run a program under the functional
+persistence model and cut power after a chosen committed instruction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ir.function import Module
+from repro.ir.interpreter import Interpreter, MachineState, TraceEvent
+from repro.recovery.model import FunctionalPersistence, PersistenceConfig, PowerFailure
+
+
+@dataclass
+class FailurePlan:
+    """Where to cut power: after the Nth committed event (1-based)."""
+
+    fail_after_event: int
+
+
+def run_with_failure(
+    module: Module,
+    plan: Optional[FailurePlan],
+    entry: str = "main",
+    args: Tuple[int, ...] = (),
+    config: Optional[PersistenceConfig] = None,
+    max_steps: int = 10_000_000,
+    spill_args: bool = True,
+) -> Tuple[FunctionalPersistence, bool, Optional[MachineState]]:
+    """Execute under the persistence model, optionally failing mid-run.
+
+    Returns ``(model, completed, final_state)``; ``completed`` is False
+    when the injected failure fired before the program finished (in
+    which case ``final_state`` is None -- the volatile state died with
+    the power).
+    """
+    model = FunctionalPersistence(module, config)
+    interp = Interpreter(module, spill_args=spill_args)
+    counter = [0]
+
+    def on_event(ev: TraceEvent) -> None:
+        model.on_event(ev)
+        counter[0] += 1
+        if plan is not None and counter[0] >= plan.fail_after_event:
+            raise PowerFailure()
+
+    try:
+        final = interp.run(entry, args, max_steps, on_event, model.on_boundary)
+    except PowerFailure:
+        return model, False, None
+    model.finish()
+    return model, True, final

@@ -1,0 +1,329 @@
+"""Functional model of cWSP's persistence hardware.
+
+Tracks, instruction by instruction, which stores have reached NVM,
+which are still volatile (in the persist buffer / on the persist path),
+which regions are speculative, and what the undo logs contain -- enough
+to compute the exact NVM image a power failure would leave behind at
+any point, and to drive the paper's recovery protocol against it.
+
+Fidelity notes (vs. Section V of the paper):
+
+- The PB drains a configurable number of entries per committed
+  instruction; each entry routes to a memory controller by address,
+  and each MC applies entries FIFO but at its own rate (``mc_skew``),
+  reproducing the NUMA-induced cross-region persist reordering that
+  motivates MC speculation.
+- A store arriving at its MC is *persisted* (the WPQ is in the
+  persistence domain) and is undo-logged first when its LogBit is set.
+  LogBit is set at commit time iff the store's region is speculative
+  (not the RBT head) -- faithful to the paper -- with one deliberate
+  correction: checkpoint stores are *always* logged.  The head region's
+  re-execution is idempotent with respect to program memory, but its
+  own checkpoint-slot writes could clobber the very slots its recovery
+  slice reads; always logging them (and reverting on failure) closes
+  that hazard.  See DESIGN.md.
+- When the head region ends and all its stores have persisted, it
+  retires: its logs are deallocated and the NVM recovery pointer
+  advances to the new head's recovery slice.
+- Atomics persist synchronously and atomically with the recovery-
+  pointer advance (Section VIII's synchronization-point discipline).
+- Observable output is buffered per region and released when the
+  region retires (the I/O redo-buffer discipline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.ir.function import Module
+from repro.ir.interpreter import Frame, MachineState, TraceEvent
+
+
+class PowerFailure(Exception):
+    """Raised by the injection hook to cut power mid-run."""
+
+
+@dataclass
+class PersistenceConfig:
+    """Functional parameters of the persistence hardware."""
+
+    pb_size: int = 50
+    rbt_size: int = 16
+    mc_count: int = 2
+    #: PB entries drained per committed instruction (fractional ok).
+    drain_per_step: float = 0.5
+    #: Extra lag per MC: MC *m* applies one entry every ``1+mc_skew[m]``
+    #: drain opportunities, creating cross-MC persist reordering.
+    mc_skew: Tuple[int, ...] = (0, 2)
+    #: Address-interleave granularity across MCs (bytes).
+    interleave: int = 4096
+    #: Soundness corrections to the paper's design (DESIGN.md 4b).
+    #: Both default on; turning either off reproduces the divergences
+    #: the recovery test suite demonstrates.
+    log_ckpt_stores: bool = True     # always undo-log checkpoint-slot writes
+    retain_head_logs: bool = True    # keep head logs until retirement
+
+    def mc_of(self, addr: int) -> int:
+        return (addr // self.interleave) % self.mc_count
+
+
+@dataclass
+class RegionRecord:
+    """One dynamic region's speculation/persistence metadata (RBT entry)."""
+
+    seq: int
+    func: str
+    boundary_uid: int  # -1 for the pre-entry region
+    pending: int = 0
+    ended: bool = False
+    outputs: List[int] = field(default_factory=list)
+    mc_bitvec: int = 0  # MCBitVec: which MCs received this region's stores
+
+
+@dataclass
+class BoundarySnapshot:
+    """Oracle snapshot of interpreter state at a region's entry.
+
+    Stands in for the ABI's NVM-resident stack spills: in a real
+    machine the caller frames' state lives in (persistent) stack
+    memory; our interpreter keeps frames internally, so the model
+    snapshots them at each boundary.  The *top frame's registers* are
+    never taken from the snapshot during recovery -- they are rebuilt
+    by the recovery slice and only *validated* against the snapshot.
+    """
+
+    seq: int
+    frames: List[Frame]
+    sp: int
+    brk: int
+
+
+def snapshot_state(seq: int, state: MachineState) -> BoundarySnapshot:
+    frames = []
+    for f in state.frames:
+        nf = Frame(f.fn, dict(f.regs), f.saved_sp, f.ret_reg)
+        nf.block = f.block
+        nf.idx = f.idx
+        frames.append(nf)
+    return BoundarySnapshot(seq=seq, frames=frames, sp=state.sp, brk=state.brk)
+
+
+class FunctionalPersistence:
+    """Consumes interpreter events; maintains the would-be NVM image."""
+
+    def __init__(self, module: Module, config: Optional[PersistenceConfig] = None) -> None:
+        self.module = module
+        self.config = config if config is not None else PersistenceConfig()
+        self.nvm: Dict[int, int] = {}
+        # PB entry: (addr, value, region_seq, log_bit)
+        self.pb: Deque[Tuple[int, int, int, bool]] = deque()
+        self.mc_queues: List[Deque[Tuple[int, int, int, bool]]] = [
+            deque() for _ in range(self.config.mc_count)
+        ]
+        self.regions: Dict[int, RegionRecord] = {}
+        self.rbt: Deque[int] = deque()
+        self.logs: Dict[int, List[Tuple[int, int]]] = {}
+        self.released_output: List[int] = []
+        self.snapshots: Dict[int, BoundarySnapshot] = {}
+        #: (func, boundary_uid, seq) of the recovery point, or None for
+        #: "restart the program" (no region has retired yet).
+        self.recovery_ptr: Optional[Tuple[str, int, int]] = None
+        self._seq = 0
+        self._drain_credit = 0.0
+        self._mc_credit = [0 for _ in range(self.config.mc_count)]
+        # Statistics.
+        self.stores_seen = 0
+        self.logged_stores = 0
+        self.max_pb_occupancy = 0
+        self.max_rbt_occupancy = 0
+        self.rbt_forced_drains = 0
+        self.pb_forced_drains = 0
+        self._open_region(func="", boundary_uid=-1)  # pre-entry region
+
+    # ------------------------------------------------------------------
+    # Region lifecycle
+    # ------------------------------------------------------------------
+    def _open_region(self, func: str, boundary_uid: int) -> None:
+        rec = RegionRecord(seq=self._seq, func=func, boundary_uid=boundary_uid)
+        self.regions[rec.seq] = rec
+        self.rbt.append(rec.seq)
+        self.logs[rec.seq] = []
+        self._seq += 1
+        if self.recovery_ptr is None and len(self.rbt) == 1 and boundary_uid >= 0:
+            self._advance_recovery_ptr()
+        self.max_rbt_occupancy = max(self.max_rbt_occupancy, len(self.rbt))
+
+    def _current_region(self) -> RegionRecord:
+        return self.regions[self._seq - 1]
+
+    def _head_region(self) -> Optional[RegionRecord]:
+        return self.regions[self.rbt[0]] if self.rbt else None
+
+    def _advance_recovery_ptr(self) -> None:
+        head = self._head_region()
+        if head is not None and head.boundary_uid >= 0:
+            self.recovery_ptr = (head.func, head.boundary_uid, head.seq)
+            # Deliberate deviation from Section V-B2 (default): the
+            # paper deallocates the head's undo logs the moment it
+            # becomes non-speculative, arguing idempotent re-execution
+            # no longer needs them.  That is unsound for checkpoint-
+            # slot writes: a region that redefines and checkpoints one
+            # of its own live-in registers would leave its recovery
+            # slice reading the *post-region* slot value.  We retain
+            # the head's logs until it retires; see DESIGN.md.  Setting
+            # retain_head_logs=False restores the paper's behaviour
+            # (and the test suite shows it diverging).
+            if not self.config.retain_head_logs:
+                self.logs[head.seq] = []
+
+    def _try_retire(self, final: bool = False) -> None:
+        """Retire fully-persisted head regions.
+
+        A head only retires once a successor region exists in the RBT:
+        the hardware needs the new head's RS Pointer (taken from its
+        RBT entry) to advance the NVM recovery pointer, so the recovery
+        point always moves strictly forward and a region's buffered
+        output is never released while the region could still be
+        re-executed.  ``final=True`` (program end) lifts the successor
+        requirement.
+        """
+        while self.rbt:
+            head = self.regions[self.rbt[0]]
+            if not (head.ended and head.pending == 0):
+                break
+            if not final and len(self.rbt) < 2:
+                break
+            self.rbt.popleft()
+            self.released_output.extend(head.outputs)
+            self.logs.pop(head.seq, None)
+            del self.regions[head.seq]
+            self._advance_recovery_ptr()
+
+    def finish(self) -> None:
+        """Program completed: drain everything and retire all regions."""
+        self._current_region().ended = True  # program exit ends the region
+        self.drain_all()
+        self._try_retire(final=True)
+
+    # ------------------------------------------------------------------
+    # Event consumption
+    # ------------------------------------------------------------------
+    def on_event(self, ev: TraceEvent) -> None:
+        kind = ev.kind
+        if kind == "store":
+            force = ev.is_ckpt and self.config.log_ckpt_stores
+            self._on_store(ev.addr, ev.value, force_log=force)
+        elif kind == "boundary":
+            self._on_boundary(ev.func, ev.uid)
+        elif kind == "atomic":
+            # Atomics are not idempotent, so their store is always
+            # undo-logged (like checkpoint-slot writes), and the
+            # synchronization point persists synchronously.
+            self._on_store(ev.addr, ev.value, force_log=True)
+            self.drain_all()
+        elif kind == "fence":
+            self.drain_all()
+        elif kind == "out":
+            self._current_region().outputs.append(ev.value)
+        self._pump()
+
+    def on_boundary(self, ev: TraceEvent, state: MachineState) -> None:
+        """Interpreter ``on_boundary`` hook: capture the oracle snapshot.
+
+        Fires before the boundary's ``on_event`` (see the interpreter),
+        so the region about to be opened gets seq ``self._seq``.
+        """
+        self.snapshots[self._seq] = snapshot_state(self._seq, state)
+
+    def _on_boundary(self, func: str, uid: int) -> None:
+        self._current_region().ended = True
+        self._try_retire()
+        if len(self.rbt) >= self.config.rbt_size:
+            # RBT full: the core stalls at the boundary until the head
+            # retires (Section V-B1).
+            self.rbt_forced_drains += 1
+            while len(self.rbt) >= self.config.rbt_size:
+                self._drain_one()
+        self._open_region(func, uid)
+
+    def _on_store(self, addr: int, value: int, force_log: bool) -> None:
+        self.stores_seen += 1
+        region = self._current_region()
+        head = self._head_region()
+        speculative = head is not None and head.seq != region.seq
+        log_bit = speculative or force_log
+        if len(self.pb) >= self.config.pb_size:
+            self.pb_forced_drains += 1
+            while len(self.pb) >= self.config.pb_size:
+                self._drain_one()
+        region.pending += 1
+        region.mc_bitvec |= 1 << self.config.mc_of(addr)
+        self.pb.append((addr, value, region.seq, log_bit))
+        self.max_pb_occupancy = max(self.max_pb_occupancy, len(self.pb))
+
+    # ------------------------------------------------------------------
+    # Persist engine
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        self._drain_credit += self.config.drain_per_step
+        while self._drain_credit >= 1.0:
+            self._drain_credit -= 1.0
+            self._drain_one()
+
+    def _drain_one(self) -> None:
+        """One drain opportunity: move a PB entry and apply MC heads."""
+        if self.pb:
+            entry = self.pb.popleft()
+            mc = self.config.mc_of(entry[0])
+            self.mc_queues[mc].append(entry)
+        for m, queue in enumerate(self.mc_queues):
+            if not queue:
+                continue
+            skew = self.config.mc_skew[m % len(self.config.mc_skew)]
+            self._mc_credit[m] += 1
+            if self._mc_credit[m] > skew:
+                self._mc_credit[m] = 0
+                self._apply(queue.popleft())
+        self._try_retire()
+
+    def _apply(self, entry: Tuple[int, int, int, bool]) -> None:
+        """A store arrives at its MC's WPQ: log (if LogBit) and persist."""
+        addr, value, seq, log_bit = entry
+        region = self.regions.get(seq)
+        if log_bit:
+            self.logged_stores += 1
+            log = self.logs.get(seq)
+            if log is not None:
+                log.append((addr, self.nvm.get(addr, 0)))
+        self.nvm[addr] = value
+        if region is not None:
+            region.pending -= 1
+
+    def drain_all(self) -> None:
+        """Drain everything (used at sync points and program end)."""
+        guard = 0
+        while self.pb or any(self.mc_queues):
+            self._drain_one()
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover
+                raise RuntimeError("persist engine failed to drain")
+        self._try_retire()
+
+    # ------------------------------------------------------------------
+    # Failure
+    # ------------------------------------------------------------------
+    def failure_image(self) -> Dict[int, int]:
+        """The NVM image after power failure and undo-log revert.
+
+        PB and MC-queue contents are volatile and lost.  All surviving
+        undo logs revert in reverse chronological order: youngest region
+        first, and within a region, last-arrived store first
+        (Section VII step 1).
+        """
+        nvm = dict(self.nvm)
+        for seq in sorted(self.logs.keys(), reverse=True):
+            for addr, old in reversed(self.logs[seq]):
+                nvm[addr] = old
+        return nvm

@@ -1,0 +1,352 @@
+"""Multi-threaded whole-system persistence (Section VIII of the paper).
+
+The paper's multi-core argument: synchronization primitives are region
+boundaries whose stores persist before the primitive commits, so for
+data-race-free (DRF) programs (a) at most one thread is inside a
+critical section at power failure and (b) each thread recovers
+*independently* from its own oldest unpersisted region, with no
+happens-before tracking.
+
+This module realizes that argument executably:
+
+- threads are interpreted round-robin with switches only at region
+  boundaries (for DRF programs, boundary-granular interleaving is
+  adequate: conflicting accesses are separated by atomics, which are
+  single-instruction regions that persist synchronously);
+- all threads share one NVM/persist model
+  (:class:`FunctionalPersistence` extended with per-thread RBTs and
+  per-thread recovery pointers -- region IDs are globally unique, as
+  the paper's hardware counter guarantees);
+- on power failure, the surviving undo logs revert in reverse global
+  order, and every thread resumes from its own recovery pointer.
+
+Because the post-recovery interleaving is a *different* admissible DRF
+schedule, outcome comparison is meaningful for confluent programs
+(commutative updates, disjoint data) -- which is exactly what the
+checker's workloads use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Module
+from repro.ir.interpreter import Frame, Interpreter, MachineState, Memory, TraceEvent
+from repro.recovery.model import (
+    BoundarySnapshot,
+    FunctionalPersistence,
+    PersistenceConfig,
+    PowerFailure,
+    RegionRecord,
+    snapshot_state,
+)
+from repro.recovery.protocol import RecoveryError
+
+_STACK_STRIDE = 1 << 20
+_HEAP_STRIDE = 1 << 24
+#: Per-core checkpoint storage stride (checkpoint storage is per-core).
+_CKPT_STRIDE = 1 << 16
+
+
+class _Switch(Exception):
+    """Internal: thread reached a region boundary; yield the CPU."""
+
+
+class ThreadedPersistence(FunctionalPersistence):
+    """FunctionalPersistence with per-thread RBT FIFOs and pointers.
+
+    Region sequence numbers stay globally unique (one counter), but
+    speculation state -- "is this region its thread's oldest
+    unpersisted?" -- is tracked per thread, as are recovery pointers.
+    """
+
+    def __init__(self, module: Module, n_threads: int, config=None) -> None:
+        self.n_threads = n_threads
+        self.current_thread = 0
+        self.thread_of_region: Dict[int, int] = {}
+        self.thread_rbt: List[List[int]] = [[] for _ in range(n_threads)]
+        self.thread_recovery_ptr: List[Optional[Tuple[str, int, int]]] = [
+            None
+        ] * n_threads
+        self.thread_released: List[List[int]] = [[] for _ in range(n_threads)]
+        super().__init__(module, config)  # opens thread 0's pre-entry region
+        for tid in range(1, n_threads):
+            self.current_thread = tid
+            self._open_region(func="", boundary_uid=-1)
+        self.current_thread = 0
+
+    # -- region lifecycle, per thread ----------------------------------
+    def _open_region(self, func: str, boundary_uid: int) -> None:
+        rec = RegionRecord(seq=self._seq, func=func, boundary_uid=boundary_uid)
+        self.regions[rec.seq] = rec
+        self.logs[rec.seq] = []
+        tid = self.current_thread
+        self.thread_of_region[rec.seq] = tid
+        self.thread_rbt[tid].append(rec.seq)
+        self._seq += 1
+        self.max_rbt_occupancy = max(
+            self.max_rbt_occupancy, max(len(r) for r in self.thread_rbt)
+        )
+
+    def _head_region(self):
+        rbt = self.thread_rbt[self.current_thread]
+        return self.regions[rbt[0]] if rbt else None
+
+    def _current_region(self):
+        rbt = self.thread_rbt[self.current_thread]
+        return self.regions[rbt[-1]]
+
+    def _try_retire(self, final: bool = False) -> None:
+        for tid in range(self.n_threads):
+            rbt = self.thread_rbt[tid]
+            while rbt:
+                head = self.regions[rbt[0]]
+                if not (head.ended and head.pending == 0):
+                    break
+                if not final and len(rbt) < 2:
+                    break
+                rbt.pop(0)
+                self.thread_released[tid].extend(head.outputs)
+                self.logs.pop(head.seq, None)
+                del self.regions[head.seq]
+                del self.thread_of_region[head.seq]
+                if rbt:
+                    new_head = self.regions[rbt[0]]
+                    if new_head.boundary_uid >= 0:
+                        self.thread_recovery_ptr[tid] = (
+                            new_head.func,
+                            new_head.boundary_uid,
+                            new_head.seq,
+                        )
+
+    def _on_boundary(self, func: str, uid: int) -> None:
+        self._current_region().ended = True
+        self._try_retire()
+        if len(self.thread_rbt[self.current_thread]) >= self.config.rbt_size:
+            self.rbt_forced_drains += 1
+            while len(self.thread_rbt[self.current_thread]) >= self.config.rbt_size:
+                self._drain_one()
+        self._open_region(func, uid)
+
+    def finish(self) -> None:
+        for tid in range(self.n_threads):
+            rbt = self.thread_rbt[tid]
+            if rbt:
+                self.regions[rbt[-1]].ended = True
+        self.drain_all()
+        self._try_retire(final=True)
+
+
+@dataclass
+class ThreadSpec:
+    """One thread's entry point."""
+
+    entry: str
+    args: Tuple[int, ...] = ()
+
+
+@dataclass
+class ThreadedRun:
+    """Result of a (possibly failure-interrupted) multi-threaded run."""
+
+    model: ThreadedPersistence
+    completed: bool
+    outputs: List[List[int]] = field(default_factory=list)
+    memory: Optional[Memory] = None
+
+
+class ThreadedExecution:
+    """Round-robin, boundary-granular execution of N threads."""
+
+    def __init__(
+        self,
+        module: Module,
+        threads: Sequence[ThreadSpec],
+        config: Optional[PersistenceConfig] = None,
+        max_steps: int = 5_000_000,
+    ) -> None:
+        self.module = module
+        self.threads = list(threads)
+        self.config = config
+        self.max_steps = max_steps
+        self.interp = Interpreter(module, spill_args=True)
+
+    def _fresh_states(self, memory: Memory) -> List[MachineState]:
+        states = []
+        for tid, spec in enumerate(self.threads):
+            state = MachineState()
+            state.memory = memory
+            state.sp -= tid * _STACK_STRIDE
+            state.brk += tid * _HEAP_STRIDE
+            state.ckpt_base += tid * _CKPT_STRIDE
+            fn = self.module.get(spec.entry)
+            regs = {p: a for p, a in zip(fn.params, spec.args)}
+            state.frames.append(Frame(fn, regs, saved_sp=state.sp))
+            states.append(state)
+        return states
+
+    def run(self, fail_after_event: Optional[int] = None) -> ThreadedRun:
+        """Execute all threads; optionally cut power mid-run."""
+        model = ThreadedPersistence(self.module, len(self.threads), self.config)
+        memory = Memory()
+        states = self._fresh_states(memory)
+        # Spill each thread's entry arguments.
+        for tid, spec in enumerate(self.threads):
+            model.current_thread = tid
+            fn = self.module.get(spec.entry)
+            for p in fn.params:
+                self.interp._spill(
+                    states[tid], spec.entry, p, states[tid].frames[0].regs[p], model.on_event
+                )
+        counter = [0]
+
+        def on_event(ev: TraceEvent) -> None:
+            model.on_event(ev)
+            counter[0] += 1
+            if fail_after_event is not None and counter[0] >= fail_after_event:
+                raise PowerFailure()
+
+        def on_boundary(ev: TraceEvent, state: MachineState) -> None:
+            model.on_boundary(ev, state)
+
+        def stop_switch(ev: TraceEvent, state: MachineState) -> None:
+            on_boundary(ev, state)
+            on_event(ev)
+            raise _Switch()
+
+        live = [True] * len(states)
+        try:
+            while any(live):
+                for tid, state in enumerate(states):
+                    if not live[tid]:
+                        continue
+                    model.current_thread = tid
+                    try:
+                        self.interp.resume(
+                            state,
+                            max_steps=self.max_steps,
+                            on_event=on_event,
+                            on_boundary=stop_switch,
+                        )
+                        live[tid] = False  # thread finished
+                    except _Switch:
+                        pass
+        except PowerFailure:
+            return ThreadedRun(model=model, completed=False)
+        model.finish()
+        return ThreadedRun(
+            model=model,
+            completed=True,
+            outputs=[list(s.output) for s in states],
+            memory=memory,
+        )
+
+    # ------------------------------------------------------------------
+    def recover_and_resume(self, model: ThreadedPersistence) -> ThreadedRun:
+        """Section VIII recovery: revert logs once, then every thread
+        independently resumes from its own recovery pointer."""
+        nvm = model.failure_image()
+        memory = Memory(nvm)
+        states: List[Optional[MachineState]] = []
+        fresh = self._fresh_states(memory)
+        resumed_outputs: List[List[int]] = []
+        for tid, spec in enumerate(self.threads):
+            ptr = model.thread_recovery_ptr[tid]
+            if ptr is None:
+                state = fresh[tid]
+                if self.module.get(spec.entry).params:
+                    for p in self.module.get(spec.entry).params:
+                        model.current_thread = tid
+                        self.interp._spill(
+                            state, spec.entry, p, state.frames[0].regs[p], None
+                        )
+            else:
+                func, buid, seq = ptr
+                rslice = self.module.recovery_slices.get((func, buid))
+                if rslice is None:
+                    raise RecoveryError(f"no recovery slice for @{func}#{buid}")
+                snap = model.snapshots.get(seq)
+                if snap is None:
+                    raise RecoveryError(f"no snapshot for region seq {seq}")
+                ckpt_base = fresh[tid].ckpt_base  # this core's slot storage
+                restored = rslice.execute(self.module, memory, ckpt_base)
+                state = MachineState()
+                state.memory = memory
+                state.ckpt_base = ckpt_base
+                for i, f in enumerate(snap.frames):
+                    top = i == len(snap.frames) - 1
+                    nf = Frame(
+                        f.fn,
+                        dict(restored) if top else dict(f.regs),
+                        f.saved_sp,
+                        f.ret_reg,
+                    )
+                    nf.block = f.block
+                    nf.idx = f.idx
+                    state.frames.append(nf)
+                state.sp = snap.sp
+                state.brk = snap.brk
+            states.append(state)
+        # Resume round-robin until all threads finish (no second failure).
+        live = [bool(s.frames) for s in states]
+
+        def stop_switch(ev: TraceEvent, state: MachineState) -> None:
+            raise _Switch()
+
+        while any(live):
+            for tid, state in enumerate(states):
+                if not live[tid]:
+                    continue
+                try:
+                    self.interp.resume(
+                        state, max_steps=self.max_steps, on_boundary=stop_switch
+                    )
+                    live[tid] = False
+                except _Switch:
+                    pass
+        outputs = [
+            model.thread_released[tid] + list(states[tid].output)
+            for tid in range(len(states))
+        ]
+        return ThreadedRun(model=model, completed=True, outputs=outputs, memory=memory)
+
+
+def check_threaded_crash_consistency(
+    module: Module,
+    threads: Sequence[ThreadSpec],
+    stride: int = 11,
+    config: Optional[PersistenceConfig] = None,
+) -> Tuple[int, List[str]]:
+    """Sweep failure points over a multi-threaded run.
+
+    Returns ``(points_checked, divergences)``.  Workloads should be
+    confluent (order-independent outcomes); see the module docstring.
+    """
+    execu = ThreadedExecution(module, threads, config)
+    ref = execu.run()
+    assert ref.completed
+    # Sweep failure points until a run completes before the failure fires.
+    divergences: List[str] = []
+    checked = 0
+    point = 1
+    while True:
+        interrupted = execu.run(fail_after_event=point)
+        if interrupted.completed:
+            break
+        checked += 1
+        try:
+            resumed = execu.recover_and_resume(interrupted.model)
+        except RecoveryError as exc:
+            divergences.append(f"event {point}: recovery error: {exc}")
+            point += stride
+            continue
+        for tid in range(len(threads)):
+            if sorted(resumed.outputs[tid]) != sorted(ref.outputs[tid]):
+                divergences.append(
+                    f"event {point}: thread {tid} output "
+                    f"{resumed.outputs[tid]} != {ref.outputs[tid]}"
+                )
+                break
+        point += stride
+    return checked, divergences

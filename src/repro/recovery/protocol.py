@@ -1,0 +1,114 @@
+"""The cWSP power-failure recovery protocol (Section VII of the paper).
+
+Three steps, exactly as the paper describes:
+
+1. revert speculative NVM updates with the undo logs (done inside
+   :meth:`FunctionalPersistence.failure_image`);
+2. execute the oldest unpersisted region's recovery slice to rebuild
+   its live-in registers from checkpoint storage and immediates;
+3. resume execution from the beginning of that region.
+
+The caller frames beneath the recovery point are taken from the
+boundary's oracle snapshot -- the stand-in for ABI stack spills that
+live in NVM on a real machine (see
+:class:`repro.recovery.model.BoundarySnapshot`).  The *top* frame's
+registers are never taken from the snapshot: they come from the
+recovery slice, and with ``validate=True`` every restored value is
+checked against the snapshot, which is how the test suite proves the
+checkpoint-pruning pass correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Module
+from repro.ir.interpreter import Frame, Interpreter, MachineState, Memory
+from repro.ir.values import Reg
+from repro.recovery.model import FunctionalPersistence
+
+
+class RecoveryError(RuntimeError):
+    """Recovery failed: missing slice, or a restored value is wrong."""
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of recovery + resumed execution to completion."""
+
+    #: Observable output: released-before-failure + resumed execution.
+    output: List[int]
+    #: Final architectural memory after the resumed run.
+    memory: Memory
+    #: Where recovery resumed: (func, boundary_uid, seq), or None if the
+    #: program restarted from scratch.
+    recovery_ptr: Optional[Tuple[str, int, int]]
+    #: Registers the recovery slice rebuilt (empty on restart).
+    restored_regs: Dict[Reg, int] = field(default_factory=dict)
+    #: Instructions executed by the resumed run.
+    resumed_steps: int = 0
+
+
+def recover_and_resume(
+    module: Module,
+    model: FunctionalPersistence,
+    entry: str = "main",
+    args: Tuple[int, ...] = (),
+    max_steps: int = 10_000_000,
+    spill_args: bool = True,
+    validate: bool = True,
+) -> RecoveryResult:
+    """Run the recovery protocol against *model*'s failure image."""
+    nvm = model.failure_image()
+    interp = Interpreter(module, spill_args=spill_args)
+    state = MachineState()
+    state.memory = Memory(nvm)
+
+    if model.recovery_ptr is None:
+        # No region ever became non-speculative: every program store was
+        # reverted or lost; restart the program on the (clean) NVM.
+        fn = module.get(entry)
+        if len(args) != len(fn.params):
+            raise RecoveryError(f"@{entry} takes {len(fn.params)} args")
+        regs = {p: a for p, a in zip(fn.params, args)}
+        state.frames.append(Frame(fn, regs, saved_sp=state.sp))
+        if spill_args:
+            for p in fn.params:
+                interp._spill(state, entry, p, regs[p], None)
+        restored: Dict[Reg, int] = {}
+    else:
+        func, boundary_uid, seq = model.recovery_ptr
+        rslice = module.recovery_slices.get((func, boundary_uid))
+        if rslice is None:
+            raise RecoveryError(f"no recovery slice for @{func}#{boundary_uid}")
+        snap = model.snapshots.get(seq)
+        if snap is None:
+            raise RecoveryError(f"no boundary snapshot for region seq {seq}")
+        restored = rslice.execute(module, state.memory)
+        if validate:
+            oracle = snap.frames[-1].regs
+            for reg, value in restored.items():
+                if reg in oracle and oracle[reg] != value:
+                    raise RecoveryError(
+                        f"RS restored %{reg.name}={value}, execution had "
+                        f"{oracle[reg]} (boundary @{func}#{boundary_uid})"
+                    )
+        for i, f in enumerate(snap.frames):
+            top = i == len(snap.frames) - 1
+            nf = Frame(f.fn, dict(restored) if top else dict(f.regs), f.saved_sp, f.ret_reg)
+            nf.block = f.block
+            nf.idx = f.idx
+            state.frames.append(nf)
+        state.sp = snap.sp
+        state.brk = snap.brk
+
+    steps_before = state.steps
+    interp.resume(state, max_steps=max_steps)
+    return RecoveryResult(
+        output=list(model.released_output) + state.output,
+        memory=state.memory,
+        recovery_ptr=model.recovery_ptr,
+        restored_regs=restored,
+        resumed_steps=state.steps - steps_before,
+    )

@@ -1,0 +1,20 @@
+"""The whole-system runtime: an IR libc and a modelled syscall path.
+
+cWSP's distinguishing claim is *whole-system* persistence: the OS and
+runtime libraries are compiled into idempotent regions too (Sections
+IV-D and VI).  This package provides the analogue:
+
+- :mod:`repro.runtime.libc` -- ``sbrk``/``malloc``/``free``/``memcpy``/
+  ``memset``/``calloc`` implemented in the mini-IR over a memory-
+  resident break pointer, so allocator state is NVM-resident and the
+  allocator's own write-after-read hazards (load brk, store brk) are
+  cut by the same antidependence pass as user code;
+- :mod:`repro.runtime.syscalls` -- a modelled ``entry_SYSCALL_64`` with
+  *manually placed* region boundaries (the paper's hand-instrumented
+  assembly entry path, Figure 11), dispatching to toy kernel services.
+"""
+
+from repro.runtime.libc import LIBC_FUNCTIONS, add_libc
+from repro.runtime.syscalls import SYSCALLS, add_syscall_layer
+
+__all__ = ["LIBC_FUNCTIONS", "SYSCALLS", "add_libc", "add_syscall_layer"]

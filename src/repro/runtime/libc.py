@@ -1,0 +1,179 @@
+"""An IR libc: allocator and memory routines compiled like user code.
+
+The break pointer lives in NVM (``BRK_VAR``), so a power failure in
+the middle of ``sbrk`` is recovered exactly like any other region: the
+antidependence pass puts a boundary between the ``load`` of the break
+and the ``store`` that advances it.
+
+The allocator is a bump allocator with a trivial size-segregated free
+list (8..128 bytes); ``free`` pushes the block onto its size class,
+``malloc`` pops before bumping.  All allocator metadata is in NVM.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.values import Reg
+
+#: Allocator metadata region (inside the globals space).
+BRK_VAR = 0x0700_0000
+FREELIST_BASE = 0x0700_0100  # heads of 16 size classes (8..128 bytes)
+HEAP_START = 0x2000_0000
+N_CLASSES = 16
+
+LIBC_FUNCTIONS = ("sbrk", "malloc", "free", "calloc", "memcpy", "memset")
+
+
+def add_libc(module: Module) -> Module:
+    """Add the libc functions to *module* (idempotent per module)."""
+    if "malloc" in module.functions:
+        return module
+    b = IRBuilder(module)
+    _build_sbrk(b)
+    _build_malloc(b)
+    _build_free(b)
+    _build_calloc(b)
+    _build_memcpy(b)
+    _build_memset(b)
+    return module
+
+
+def _build_sbrk(b: IRBuilder) -> None:
+    """``sbrk(n)``: advance the NVM-resident break; returns the old one."""
+    b.function("sbrk", ["n"])
+    brk_addr = b.const(BRK_VAR, Reg("brk_addr"))
+    cur = b.load(brk_addr, rd=Reg("cur"))
+    init = b.add_block("init")
+    have = b.add_block("have")
+    is_zero = b.cmp("eq", cur, 0)
+    b.cbr(is_zero, init, have)
+    b.set_block(init)
+    b.const(HEAP_START, Reg("cur"))
+    b.br(have)
+    b.set_block(have)
+    new = b.add(Reg("cur"), Reg("n"))
+    b.store(new, brk_addr)
+    b.ret(Reg("cur"))
+
+
+def _build_malloc(b: IRBuilder) -> None:
+    """``malloc(size)``: pop a free block of the size class, else bump."""
+    b.function("malloc", ["size"])
+    # Round up to a multiple of 8, minimum 8.
+    r = b.add(Reg("size"), 7)
+    sz = b.and_(r, -8, Reg("sz"))
+    small = b.cmp("sle", sz, 8)
+    fix = b.add_block("fixmin")
+    classify = b.add_block("classify")
+    b.cbr(small, fix, classify)
+    b.set_block(fix)
+    b.const(8, Reg("sz"))
+    b.br(classify)
+
+    b.set_block(classify)
+    cls = b.lshr(Reg("sz"), 3)  # size/8: class 1..16 for 8..128
+    in_range = b.cmp("sle", cls, N_CLASSES)
+    try_list = b.add_block("try_list")
+    bump = b.add_block("bump")
+    done = b.add_block("done")
+    b.cbr(in_range, try_list, bump)
+
+    b.set_block(try_list)
+    fl_base = b.const(FREELIST_BASE, Reg("fl_base"))
+    off = b.shl(cls, 3)
+    head_addr = b.add(fl_base, off, Reg("head_addr"))
+    head = b.load(Reg("head_addr"), rd=Reg("head"))
+    has_block = b.cmp("ne", head, 0)
+    pop = b.add_block("pop")
+    b.cbr(has_block, pop, bump)
+
+    b.set_block(pop)
+    nxt = b.load(Reg("head"))  # first word of a free block links to next
+    b.store(nxt, Reg("head_addr"))
+    b.binop("add", Reg("head"), 0, Reg("result"))  # result = head
+    b.br(done)
+
+    b.set_block(bump)
+    b.call("sbrk", [Reg("sz")], rd=Reg("result"))
+    b.br(done)
+
+    b.set_block(done)
+    b.ret(Reg("result"))
+
+
+def _build_free(b: IRBuilder) -> None:
+    """``free(p, size)``: push onto the size-class free list."""
+    b.function("free", ["p", "size"])
+    r = b.add(Reg("size"), 7)
+    sz = b.and_(r, -8, Reg("sz"))
+    cls = b.lshr(sz, 3, Reg("cls"))
+    ok_lo = b.cmp("sge", cls, 1)
+    ok_hi = b.cmp("sle", cls, N_CLASSES)
+    ok = b.and_(ok_lo, ok_hi)
+    push = b.add_block("push")
+    out = b.add_block("out")
+    b.cbr(ok, push, out)
+    b.set_block(push)
+    fl_base = b.const(FREELIST_BASE)
+    off = b.shl(cls, 3)
+    head_addr = b.add(fl_base, off, Reg("head_addr"))
+    head = b.load(Reg("head_addr"))
+    b.store(head, Reg("p"))  # block links to old head
+    b.store(Reg("p"), Reg("head_addr"))
+    b.br(out)
+    b.set_block(out)
+    b.ret()
+
+
+def _build_calloc(b: IRBuilder) -> None:
+    """``calloc(size)``: malloc + zero fill (word granularity)."""
+    b.function("calloc", ["size"])
+    p = b.call("malloc", [Reg("size")], rd=Reg("p"))
+    words = b.lshr(b.add(Reg("size"), 7), 3)
+    b.call("memset", [Reg("p"), 0, words], void=True)
+    b.ret(Reg("p"))
+
+
+def _build_memcpy(b: IRBuilder) -> None:
+    """``memcpy(dst, src, nwords)``: word-granularity copy."""
+    b.function("memcpy", ["dst", "src", "nwords"])
+    b.const(0, Reg("i"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    out = b.add_block("out")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), Reg("nwords"))
+    b.cbr(c, body, out)
+    b.set_block(body)
+    off = b.shl(Reg("i"), 3)
+    saddr = b.add(Reg("src"), off)
+    daddr = b.add(Reg("dst"), off)
+    v = b.load(saddr)
+    b.store(v, daddr)
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(out)
+    b.ret(Reg("dst"))
+
+
+def _build_memset(b: IRBuilder) -> None:
+    """``memset(dst, value, nwords)``: word-granularity fill."""
+    b.function("memset", ["dst", "value", "nwords"])
+    b.const(0, Reg("i"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    out = b.add_block("out")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), Reg("nwords"))
+    b.cbr(c, body, out)
+    b.set_block(body)
+    off = b.shl(Reg("i"), 3)
+    daddr = b.add(Reg("dst"), off)
+    b.store(Reg("value"), daddr)
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(out)
+    b.ret(Reg("dst"))

@@ -1,0 +1,149 @@
+"""A modelled Linux syscall entry path with manual region boundaries.
+
+Section VI of the paper: ``entry_SYSCALL_64`` is hand-written assembly
+that the compiler cannot partition, so the authors manually insert
+region boundaries and checkpoints -- two at the entry and exit points,
+and one right before the ``do_syscall_64`` dispatch (Figure 11).
+
+Here ``entry_syscall`` plays that role: it is built with explicit
+``boundary manual`` instructions in the same three places, saves the
+syscall number and argument to a kernel save area (the pt_regs frame,
+which lives in NVM), dispatches on the syscall number, and restores on
+exit.  The handlers are toy kernel services operating on NVM-resident
+kernel state:
+
+=====  ============  ==========================================
+nr     name          behaviour
+=====  ============  ==========================================
+0      sys_read      pop a word from the kernel input queue
+1      sys_write     push a word onto the kernel output queue
+12     sys_brk       forward to the libc ``sbrk``
+39     sys_getpid    return the (constant) pid
+=====  ============  ==========================================
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.values import Reg
+from repro.runtime.libc import add_libc
+
+#: Kernel data area (NVM-resident).
+PT_REGS = 0x0701_0000  # saved syscall number / argument
+KIN_QUEUE = 0x0702_0000  # input queue: [head, tail, slots...]
+KOUT_QUEUE = 0x0703_0000  # output queue: [head, tail, slots...]
+PID = 4242
+
+SYSCALLS = {0: "sys_read", 1: "sys_write", 12: "sys_brk", 39: "sys_getpid"}
+
+
+def add_syscall_layer(module: Module) -> Module:
+    """Add ``entry_syscall`` plus the toy handlers to *module*."""
+    if "entry_syscall" in module.functions:
+        return module
+    add_libc(module)
+    b = IRBuilder(module)
+    _build_sys_read(b)
+    _build_sys_write(b)
+    _build_sys_brk(b)
+    _build_sys_getpid(b)
+    _build_entry(b)
+    return module
+
+
+def _build_entry(b: IRBuilder) -> None:
+    b.function("entry_syscall", ["nr", "arg"])
+    # Manual boundary at the entry point (Figure 11, boundary 1).
+    b.boundary("manual")
+    regs = b.const(PT_REGS, Reg("regs"))
+    b.store(Reg("nr"), regs)      # save pt_regs: syscall number
+    b.store(Reg("arg"), regs, 8)  # save pt_regs: argument
+    # Manual boundary right before the dispatch (Figure 11, boundary 2).
+    b.boundary("manual")
+    d_read = b.add_block("d_read")
+    d_write = b.add_block("d_write")
+    d_brk = b.add_block("d_brk")
+    d_pid = b.add_block("d_pid")
+    d_bad = b.add_block("d_bad")
+    exit_blk = b.add_block("exit")
+
+    c0 = b.cmp("eq", Reg("nr"), 0)
+    chk1 = b.add_block("chk1")
+    b.cbr(c0, d_read, chk1)
+    b.set_block(chk1)
+    c1 = b.cmp("eq", Reg("nr"), 1)
+    chk12 = b.add_block("chk12")
+    b.cbr(c1, d_write, chk12)
+    b.set_block(chk12)
+    c12 = b.cmp("eq", Reg("nr"), 12)
+    chk39 = b.add_block("chk39")
+    b.cbr(c12, d_brk, chk39)
+    b.set_block(chk39)
+    c39 = b.cmp("eq", Reg("nr"), 39)
+    b.cbr(c39, d_pid, d_bad)
+
+    b.set_block(d_read)
+    b.call("sys_read", [], rd=Reg("ret"))
+    b.br(exit_blk)
+    b.set_block(d_write)
+    b.call("sys_write", [Reg("arg")], rd=Reg("ret"))
+    b.br(exit_blk)
+    b.set_block(d_brk)
+    b.call("sbrk", [Reg("arg")], rd=Reg("ret"))
+    b.br(exit_blk)
+    b.set_block(d_pid)
+    b.call("sys_getpid", [], rd=Reg("ret"))
+    b.br(exit_blk)
+    b.set_block(d_bad)
+    b.const(-38, Reg("ret"))  # -ENOSYS
+    b.br(exit_blk)
+
+    b.set_block(exit_blk)
+    # Manual boundary at the exit point (Figure 11, boundary 3).
+    b.boundary("manual")
+    b.ret(Reg("ret"))
+
+
+def _build_sys_read(b: IRBuilder) -> None:
+    """Pop from the kernel input queue; -1 when empty."""
+    b.function("sys_read", [])
+    q = b.const(KIN_QUEUE, Reg("q"))
+    head = b.load(q, 0, Reg("head"))
+    tail = b.load(q, 8, Reg("tail"))
+    empty = b.cmp("sge", Reg("head"), Reg("tail"))
+    pop = b.add_block("pop")
+    none = b.add_block("none")
+    b.cbr(empty, none, pop)
+    b.set_block(pop)
+    off = b.shl(Reg("head"), 3)
+    slot = b.add(Reg("q"), off)
+    v = b.load(slot, 16, Reg("v"))
+    nh = b.add(Reg("head"), 1)
+    b.store(nh, Reg("q"), 0)
+    b.ret(Reg("v"))
+    b.set_block(none)
+    b.ret(-1)
+
+
+def _build_sys_write(b: IRBuilder) -> None:
+    """Push onto the kernel output queue; returns the new length."""
+    b.function("sys_write", ["value"])
+    q = b.const(KOUT_QUEUE, Reg("q"))
+    tail = b.load(q, 8, Reg("tail"))
+    off = b.shl(Reg("tail"), 3)
+    slot = b.add(Reg("q"), off)
+    b.store(Reg("value"), slot, 16)
+    nt = b.add(Reg("tail"), 1, Reg("nt"))
+    b.store(Reg("nt"), Reg("q"), 8)
+    b.ret(Reg("nt"))
+
+
+def _build_sys_brk(b: IRBuilder) -> None:  # pragma: no cover - alias
+    pass  # sys_brk dispatches straight to @sbrk in the entry function
+
+
+def _build_sys_getpid(b: IRBuilder) -> None:
+    b.function("sys_getpid", [])
+    pid = b.const(PID)
+    b.ret(pid)

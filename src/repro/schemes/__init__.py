@@ -1,0 +1,26 @@
+"""Named persistence schemes: the configurations the paper evaluates.
+
+Each factory returns a :class:`repro.arch.Scheme` describing which
+hardware mechanisms are active.  The Figure 15 ablation ladder is
+exposed through :func:`ablation_ladder`.
+"""
+
+from repro.schemes.catalog import (
+    ablation_ladder,
+    baseline,
+    capri,
+    cwsp,
+    ido,
+    psp_ideal,
+    replaycache,
+)
+
+__all__ = [
+    "ablation_ladder",
+    "baseline",
+    "capri",
+    "cwsp",
+    "ido",
+    "psp_ideal",
+    "replaycache",
+]

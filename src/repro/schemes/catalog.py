@@ -1,0 +1,187 @@
+"""Scheme definitions.
+
+Parameters follow each scheme's description in the paper:
+
+- **cWSP**: 8-byte persist granularity, asynchronous store persistence
+  through the PB, MC speculation via the RBT (no boundary stalls),
+  background undo logging at the MC (address + old value per 8-byte
+  store: 2x NVM write amplification), WB-delay and WPQ-delay stale-read
+  fixes.
+- **Capri**: cacheline (64-byte) persist granularity from L1D, battery-
+  backed redo buffer (no boundary stall, but an 8x NVM write
+  amplification from its redo+undo logging -- Section II-D) and a
+  ~18KB/64B = 288-entry buffer standing where cWSP's 50-entry PB does.
+- **ReplayCache**: software-oriented WSP adapted from energy-harvesting
+  systems; per-store instrumentation plus a full persist wait at every
+  region end.
+- **iDO**: persist barriers before and after each region boundary plus
+  software logging writes (Section X).
+- **ideal PSP** (BBB/eADR/LightPC): persistence itself is free
+  (battery-backed buffers) but DRAM cannot serve as the LLC, so every
+  LLC miss pays NVM latency (Section IX-D).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.arch.scheme import Scheme
+
+
+def baseline() -> Scheme:
+    """Original program on the original hardware; no crash consistency."""
+    return Scheme(
+        name="baseline",
+        persist_stores=False,
+        mc_speculation=False,
+        wb_delay=False,
+        wpq_load_delay=False,
+        nvm_write_amp=1.0,
+    )
+
+
+def cwsp(
+    mc_speculation: bool = True,
+    wb_delay: bool = True,
+    wpq_load_delay: bool = True,
+) -> Scheme:
+    """The full cWSP design (all Section V mechanisms)."""
+    return Scheme(
+        name="cwsp",
+        persist_stores=True,
+        persist_bytes=8,
+        nvm_write_amp=2.0,  # background undo log: old value + address
+        mc_speculation=mc_speculation,
+        stall_at_boundary=not mc_speculation,
+        wb_delay=wb_delay,
+        wpq_load_delay=wpq_load_delay,
+    )
+
+
+def capri() -> Scheme:
+    """Capri: redo-buffer WSP at cacheline granularity."""
+    return Scheme(
+        name="capri",
+        persist_stores=True,
+        persist_bytes=64,  # the 8x path-bandwidth demand of Section II-D
+        nvm_write_amp=1.0,  # 2-phase persistence: media written once/line
+        mc_speculation=False,
+        stall_at_boundary=False,  # battery-backed redo buffer
+        wb_delay=False,
+        wpq_load_delay=True,
+        pb_entries_override=288,  # 18KB redo buffer / 64B lines
+        coalesce_lines=True,
+    )
+
+
+def replaycache() -> Scheme:
+    """ReplayCache adapted to a server-class core (software WSP)."""
+    return Scheme(
+        name="replaycache",
+        persist_stores=True,
+        persist_bytes=64,
+        nvm_write_amp=2.0,
+        mc_speculation=False,
+        stall_at_boundary=True,
+        wb_delay=False,
+        wpq_load_delay=False,
+        extra_insts_per_store=6,
+        extra_insts_per_region=12,
+        coalesce_lines=True,
+    )
+
+
+def ido() -> Scheme:
+    """iDO: failure atomicity via persist barriers at region ends."""
+    return Scheme(
+        name="ido",
+        persist_stores=True,
+        persist_bytes=64,
+        nvm_write_amp=2.0,  # software undo-log writes
+        mc_speculation=False,
+        stall_at_boundary=True,
+        wb_delay=False,
+        wpq_load_delay=False,
+        extra_insts_per_store=2,
+        coalesce_lines=True,
+    )
+
+
+def psp_ideal() -> Scheme:
+    """Ideal partial-system persistence (BBB / eADR / LightPC-like).
+
+    Persistence costs nothing (battery-backed everything), but DRAM is
+    main memory, not an LLC: the DRAM cache is disabled and every
+    (SRAM-)LLC miss pays NVM latency.
+    """
+    return Scheme(
+        name="psp-ideal",
+        persist_stores=False,
+        mc_speculation=False,
+        wb_delay=False,
+        wpq_load_delay=False,
+        dram_cache_enabled=False,
+        nvm_write_amp=1.0,
+    )
+
+
+def ablation_ladder() -> List[Tuple[str, Scheme, dict]]:
+    """Figure 15's cumulative optimization ladder.
+
+    Returns ``(stage_name, scheme, trace_kwargs)`` triples;
+    ``trace_kwargs`` tell the workload generator whether to emit region
+    boundaries / checkpoints, and whether checkpoints are pruned.
+
+    Stage semantics (Section IX-B):
+
+    1. *Region Formation*: instrumented binary, no persistence -- pure
+       instruction overhead.
+    2. *Persist Path*: stores persist asynchronously; no region
+       tracking (correctness would need single-MC; performance only).
+    3. *MC Speculation*: the RBT bounds in-flight regions.
+    4. *WB Delaying*: the stale-read writeback delay.
+    5. *WPQ Delaying*: loads hitting a pending WPQ entry wait.
+    6. *Pruning (cWSP)*: checkpoint pruning shrinks persist traffic.
+    """
+    instrumented = dict(boundaries=True, ckpts="unpruned")
+    pruned = dict(boundaries=True, ckpts="pruned")
+    return [
+        (
+            "+Region Formation",
+            Scheme(
+                name="region-formation",
+                persist_stores=False,
+                mc_speculation=False,
+                wb_delay=False,
+                wpq_load_delay=False,
+                nvm_write_amp=1.0,
+            ),
+            instrumented,
+        ),
+        (
+            "+Persist Path",
+            Scheme(
+                name="persist-path",
+                persist_stores=True,
+                persist_bytes=8,
+                nvm_write_amp=2.0,
+                mc_speculation=False,
+                stall_at_boundary=False,  # untracked async persistence
+                wb_delay=False,
+                wpq_load_delay=False,
+            ),
+            instrumented,
+        ),
+        (
+            "+MC Speculation",
+            cwsp(wb_delay=False, wpq_load_delay=False).with_name("mc-speculation"),
+            instrumented,
+        ),
+        (
+            "+WB Delaying",
+            cwsp(wpq_load_delay=False).with_name("wb-delaying"),
+            instrumented,
+        ),
+        ("+WPQ Delaying", cwsp().with_name("wpq-delaying"), instrumented),
+        ("+Pruning (cWSP)", cwsp().with_name("cwsp"), pruned),
+    ]

@@ -1,0 +1,38 @@
+"""Workloads: the 37 paper applications and IR kernel programs.
+
+The paper evaluates SPEC CPU2006/2017, DOE Mini-apps, SPLASH3,
+WHISPER, and STAMP.  Those binaries and inputs are not available
+here, so each application is represented by a calibrated synthetic
+trace profile (:mod:`repro.workloads.profiles`) capturing the
+characteristics its figure behaviour depends on: load/store mix,
+working-set locality classes, region length, checkpoint density,
+sequential-write burstiness, and synchronization rate.
+
+Separately, :mod:`repro.workloads.programs` provides real IR kernels
+(linked list, b-tree, hash map, kmeans, ...) that are compiled by the
+cWSP passes and interpreted -- used for correctness, recovery testing,
+and the examples.
+"""
+
+from repro.workloads.profiles import (
+    ALL_APPS,
+    AppProfile,
+    MEMORY_INTENSIVE,
+    PROFILES,
+    SUITES,
+    apps_in_suite,
+)
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.adapter import events_from_ir_trace, trace_ir_program
+
+__all__ = [
+    "ALL_APPS",
+    "AppProfile",
+    "MEMORY_INTENSIVE",
+    "PROFILES",
+    "SUITES",
+    "apps_in_suite",
+    "events_from_ir_trace",
+    "generate_trace",
+    "trace_ir_program",
+]

@@ -1,0 +1,66 @@
+"""Adapter: IR interpreter traces -> timing-simulator event tuples.
+
+Lets the real compiled IR kernels (linked list, b-tree, kmeans, ...)
+run through the same timing model as the synthetic profiles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.function import Module
+from repro.ir.interpreter import Interpreter, TraceEvent
+
+Event = Tuple
+
+_KIND_MAP = {
+    "alu": ("a",),
+    "out": ("a",),
+    "call": ("a",),
+    "icall": ("a",),
+    "ret": ("a",),
+    "boundary": ("b",),
+    "fence": ("f",),
+}
+
+
+def events_from_ir_trace(trace: List[TraceEvent]) -> List[Event]:
+    """Convert interpreter events to timing-simulator tuples."""
+    out: List[Event] = []
+    append = out.append
+    for ev in trace:
+        kind = ev.kind
+        if kind == "load":
+            append(("l", ev.addr))
+        elif kind == "store":
+            append(("c", ev.addr) if ev.is_ckpt else ("s", ev.addr))
+        elif kind == "atomic":
+            append(("x", ev.addr))
+        else:
+            append(_KIND_MAP[kind])
+    return out
+
+
+def trace_ir_program(
+    module: Module,
+    entry: str = "main",
+    args: Tuple[int, ...] = (),
+    spill_args: bool = True,
+    max_steps: int = 10_000_000,
+) -> List[Event]:
+    """Interpret an IR program and return its timing-event stream."""
+    events: List[Event] = []
+
+    def on_event(ev: TraceEvent) -> None:
+        kind = ev.kind
+        if kind == "load":
+            events.append(("l", ev.addr))
+        elif kind == "store":
+            events.append(("c", ev.addr) if ev.is_ckpt else ("s", ev.addr))
+        elif kind == "atomic":
+            events.append(("x", ev.addr))
+        else:
+            events.append(_KIND_MAP[kind])
+
+    Interpreter(module, spill_args=spill_args).run(entry, args, max_steps, on_event)
+    return events

@@ -1,0 +1,14 @@
+"""Real IR kernel programs, compiled by the cWSP passes.
+
+These are the repository's functional workloads: each builds a module
+whose ``main`` computes a checkable result via ``out``.  They exercise
+the allocator, pointer chasing, read-modify-write loops, and the
+syscall layer -- the code patterns the paper's motivation section is
+about -- and they are the subjects of the recovery experiments.
+
+``build_kernel(name)`` returns ``(module, entry, args)``.
+"""
+
+from repro.workloads.programs.kernels import KERNELS, build_kernel
+
+__all__ = ["KERNELS", "build_kernel"]

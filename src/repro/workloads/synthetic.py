@@ -1,0 +1,190 @@
+"""Synthetic trace generation from an :class:`AppProfile`.
+
+The *core* instruction stream (ALU/load/store/atomic with addresses)
+is a pure function of ``(profile, n_insts, seed)`` -- identical across
+scheme variants, like the same program binary.  *Instrumentation*
+(region boundaries and checkpoint stores) is layered on top from an
+independent RNG stream, modelling the compiled-with-cWSP binary.
+
+Access pattern.  Each working-set class is walked sequentially (with
+wraparound) -- the array-sweep behaviour of the paper's HPC and SPEC
+workloads -- fetching a new cache line every 8 word accesses.  With
+probability ``profile.jump_frac`` an access jumps to a random word of
+its class instead (pointer-chasing behaviour; xsbench's random
+cross-section lookups set this high).  The ``stream`` class never
+wraps: pure compulsory-miss streaming, which is also where SPLASH3's
+sequential write bursts land.  Traces are short samples of long
+executions, so the harness warms the hierarchy with
+:func:`prime_ranges` before timing (see ``CacheHierarchy.prime``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.profiles import AppProfile, CLASS_SIZES
+
+Event = Tuple
+
+#: Per-app virtual address spacing; classes live at fixed offsets.
+_APP_STRIDE = 1 << 36
+_CLASS_OFFSETS = {
+    "hot": 0x0_0000_0000,
+    "warm": 0x0_1000_0000,
+    "mid": 0x0_2000_0000,
+    "big": 0x0_3000_0000,
+    "huge": 0x0_4000_0000,
+    "stream": 0x0_8000_0000,
+}
+_CKPT_OFFSET = 0x0_F000_0000
+_CKPT_SLOTS = 32
+_BURST_MEAN_WORDS = 12
+
+
+def _app_base(name: str) -> int:
+    # Stable (PYTHONHASHSEED-independent) app id.
+    h = 0
+    for ch in name:
+        h = (h * 131 + ord(ch)) & 0x3FF
+    return (1 + h) * _APP_STRIDE
+
+
+def prime_ranges(profile: AppProfile) -> List[Tuple[int, int]]:
+    """(base, size) ranges to warm the hierarchy with, for this app."""
+    base = _app_base(profile.name)
+    used = {name for name, w in profile.load_classes if w > 0}
+    used |= {name for name, w in profile.store_classes if w > 0}
+    if profile.atomics_per_kinst > 0:
+        used.add("hot")
+    used.discard("stream")  # compulsory by definition
+    return [(base + _CLASS_OFFSETS[c], CLASS_SIZES[c]) for c in sorted(used)]
+
+
+def _class_sampler(weights, rng: np.random.Generator, n: int):
+    names = [w[0] for w in weights]
+    probs = np.array([w[1] for w in weights])
+    probs = probs / probs.sum()
+    return names, rng.choice(len(names), size=n, p=probs)
+
+
+def generate_trace(
+    profile: AppProfile,
+    n_insts: int = 100_000,
+    seed: int = 0,
+    instrument: Optional[str] = None,
+) -> List[Event]:
+    """Build the committed-event list for one application sample.
+
+    ``instrument`` is ``None`` (the original binary), ``"unpruned"``
+    (region boundaries + pre-pruning checkpoint density), or
+    ``"pruned"`` (the full cWSP compiler, Figure 15's last stage).
+    """
+    if instrument not in (None, "unpruned", "pruned"):
+        raise ValueError(f"bad instrument mode {instrument!r}")
+    base = _app_base(profile.name)
+    core_rng = np.random.default_rng(seed * 1_000_003 + 17)
+
+    op_r = core_rng.random(n_insts)
+    load_cut = profile.load_frac
+    store_cut = profile.load_frac + profile.store_frac
+    atomic_p = profile.atomics_per_kinst / 1000.0
+    atomic_r = core_rng.random(n_insts) if atomic_p > 0 else None
+    lnames, lchoice = _class_sampler(profile.load_classes, core_rng, n_insts)
+    snames, schoice = _class_sampler(profile.store_classes, core_rng, n_insts)
+    off_r = core_rng.random(n_insts)
+    jump_r = core_rng.random(n_insts)
+    burst_r = core_rng.random(n_insts) if profile.store_burst > 0 else None
+    burst_len_r = core_rng.geometric(1.0 / _BURST_MEAN_WORDS, size=max(1, n_insts // 4))
+
+    # Per-class sequential sweep pointers (word offsets).
+    sweep = {c: 0 for c in CLASS_SIZES}
+    words = {c: s >> 3 for c, s in CLASS_SIZES.items()}
+    class_base = {c: base + off for c, off in _CLASS_OFFSETS.items()}
+    jump_frac = profile.jump_frac
+
+    stream_ptr = class_base["stream"]
+    burst_left = 0
+    burst_ptr = 0
+    burst_idx = 0
+
+    events: List[Event] = []
+    append = events.append
+
+    def class_addr(cname: str, i: int) -> int:
+        if jump_r[i] < jump_frac:
+            off = int(off_r[i] * words[cname])
+            sweep[cname] = off
+        else:
+            off = sweep[cname] = (sweep[cname] + 1) % words[cname]
+        return class_base[cname] + (off << 3)
+
+    for i in range(n_insts):
+        r = op_r[i]
+        if atomic_r is not None and atomic_r[i] < atomic_p:
+            off = int(off_r[i] * words["hot"])
+            append(("x", class_base["hot"] + (off << 3)))
+            continue
+        if r < load_cut:
+            cname = lnames[lchoice[i]]
+            if cname == "stream":
+                stream_ptr += 8
+                append(("l", stream_ptr))
+            else:
+                append(("l", class_addr(cname, i)))
+        elif r < store_cut:
+            if burst_left > 0:
+                burst_left -= 1
+                burst_ptr += 8
+                append(("s", burst_ptr))
+                continue
+            if burst_r is not None and burst_r[i] < profile.store_burst:
+                burst_left = int(burst_len_r[burst_idx % len(burst_len_r)])
+                burst_idx += 1
+                stream_ptr += 8
+                burst_ptr = stream_ptr
+                stream_ptr += burst_left << 3
+                append(("s", burst_ptr))
+                continue
+            cname = snames[schoice[i]]
+            if cname == "stream":
+                stream_ptr += 8
+                append(("s", stream_ptr))
+            else:
+                append(("s", class_addr(cname, i)))
+        else:
+            append(("a",))
+
+    if instrument is None:
+        return events
+    return _instrument(events, profile, seed, instrument)
+
+
+def _instrument(
+    core: List[Event], profile: AppProfile, seed: int, mode: str
+) -> List[Event]:
+    """Insert region boundaries and checkpoint stores into *core*."""
+    rng = np.random.default_rng(seed * 7_000_037 + 23)
+    ckpts_per_region = (
+        profile.ckpts_pruned if mode == "pruned" else profile.ckpts_unpruned
+    )
+    base = _app_base(profile.name) + _CKPT_OFFSET
+    out: List[Event] = []
+    append = out.append
+    region_left = int(rng.geometric(1.0 / profile.region_len))
+    ckpt_accum = 0.0
+    slot = 0
+    for ev in core:
+        if region_left <= 0 or ev[0] == "x":
+            # Synchronization points are region boundaries too.
+            append(("b",))
+            ckpt_accum += ckpts_per_region
+            while ckpt_accum >= 1.0:
+                ckpt_accum -= 1.0
+                slot = (slot + 1) % _CKPT_SLOTS
+                append(("c", base + slot * 8))
+            region_left = int(rng.geometric(1.0 / profile.region_len))
+        append(ev)
+        region_left -= 1
+    return out

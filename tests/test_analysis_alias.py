@@ -1,0 +1,208 @@
+"""Alias analysis tests: sites, offsets, joins, may_alias."""
+
+from repro.analysis.alias import TOP_SITE, AliasAnalysis, Location
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.instructions import Load, Store
+from repro.ir.values import Reg
+
+
+def analyze(build):
+    b = IRBuilder(Module("m"))
+    fn = b.function("f", build.__code__.co_varnames[:0] or [])
+    build(b)
+    return fn, AliasAnalysis(fn)
+
+
+def mem_instrs(fn):
+    loads = [i for _, i in fn.instructions() if isinstance(i, Load)]
+    stores = [i for _, i in fn.instructions() if isinstance(i, Store)]
+    return loads, stores
+
+
+class TestLocation:
+    def test_same_site_same_offset_alias(self):
+        a = Location("alloca:1", 0)
+        assert a.may_alias(Location("alloca:1", 0))
+
+    def test_same_site_distinct_offsets_disjoint(self):
+        assert not Location("alloca:1", 0).may_alias(Location("alloca:1", 8))
+
+    def test_unknown_offset_aliases_within_site(self):
+        assert Location("alloca:1", None).may_alias(Location("alloca:1", 8))
+
+    def test_distinct_sites_disjoint(self):
+        assert not Location("alloca:1", 0).may_alias(Location("alloca:2", 0))
+
+    def test_top_aliases_everything(self):
+        top = Location(TOP_SITE, None)
+        assert top.may_alias(Location("alloca:1", 0))
+        assert Location("abs", 8).may_alias(top)
+
+    def test_shifted(self):
+        assert Location("s", 8).shifted(8) == Location("s", 16)
+        assert Location("s", None).shifted(8).offset is None
+        assert Location("s", 8).shifted(None).offset is None
+
+
+class TestAnalysis:
+    def test_distinct_allocas_do_not_alias(self):
+        def build(b):
+            p = b.alloca(16)
+            q = b.alloca(16)
+            b.store(1, p)
+            x = b.load(q)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        assert not aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_same_alloca_same_offset_aliases(self):
+        def build(b):
+            p = b.alloca(16)
+            b.store(1, p, 8)
+            x = b.load(p, 8)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        assert aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_same_alloca_distinct_offsets_disjoint(self):
+        def build(b):
+            p = b.alloca(16)
+            b.store(1, p, 0)
+            x = b.load(p, 8)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        assert not aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_pointer_arithmetic_tracks_offset(self):
+        def build(b):
+            p = b.alloca(32)
+            q = b.add(p, 16)
+            b.store(1, q)
+            x = b.load(p, 16)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        assert aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_variable_index_stays_in_site(self):
+        def build(b):
+            p = b.alloca(32)
+            idx = b.alloca(8)
+            i = b.load(idx)  # runtime value: unknown to the analysis
+            off = b.mul(i, 8)
+            q = b.add(p, off)
+            b.store(1, q)
+            x = b.load(p, 8)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        # unknown offset within the same alloca: must conservatively alias
+        assert aa.may_alias(loads[1].uid, stores[0].uid)
+
+    def test_constant_index_folds_precisely(self):
+        def build(b):
+            p = b.alloca(32)
+            i = b.const(2)
+            off = b.mul(i, 8)  # folds to 16
+            q = b.add(p, off)
+            b.store(1, q)
+            x = b.load(p, 8)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        assert not aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_loaded_pointer_is_top(self):
+        def build(b):
+            p = b.alloca(8)
+            q = b.load(p)  # q: unknown pointer
+            b.store(1, q)
+            r = b.alloca(8)
+            x = b.load(r)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        # store through unknown pointer may alias the other alloca
+        assert aa.may_alias(loads[1].uid, stores[0].uid)
+
+    def test_absolute_addresses_fold(self):
+        def build(b):
+            g = b.const(0x1000)
+            b.store(1, g, 0)
+            x = b.load(g, 8)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        assert not aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_heap_site_from_intrinsic(self):
+        def build(b):
+            p = b.call("nv_malloc", [16], rd=Reg("p"))
+            q = b.call("nv_malloc", [16], rd=Reg("q"))
+            b.store(1, Reg("p"))
+            x = b.load(Reg("q"))
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        assert not aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_join_of_different_sites_goes_top(self):
+        def build(b):
+            p = b.alloca(8)
+            q = b.alloca(8)
+            t = b.add_block("t")
+            f = b.add_block("f")
+            j = b.add_block("j")
+            c = b.cmp("eq", 1, 1)
+            b.cbr(c, t, f)
+            b.set_block(t)
+            b.binop("add", p, 0, Reg("r"))
+            b.br(j)
+            b.set_block(f)
+            b.binop("add", q, 0, Reg("r"))
+            b.br(j)
+            b.set_block(j)
+            b.store(1, Reg("r"))
+            s = b.alloca(8)
+            x = b.load(s)
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        # r could be p or q -> TOP -> aliases even the fresh alloca
+        assert aa.may_alias(loads[0].uid, stores[0].uid)
+
+    def test_loop_widens_offset_but_keeps_site(self):
+        def build(b):
+            p0 = b.alloca(64, Reg("p"))
+            other = b.alloca(8, Reg("other"))
+            loop = b.add_block("loop")
+            out = b.add_block("out")
+            b.br(loop)
+            b.set_block(loop)
+            b.store(1, Reg("p"))
+            b.add(Reg("p"), 8, Reg("p"))
+            c = b.cmp("slt", Reg("p"), 99)
+            b.cbr(c, loop, out)
+            b.set_block(out)
+            x = b.load(Reg("other"))
+            b.ret(x)
+
+        fn, aa = analyze(build)
+        loads, stores = mem_instrs(fn)
+        # p's offset is widened to unknown, but its site is still the
+        # alloca, so the store cannot alias the other alloca's load.
+        assert not aa.may_alias(loads[0].uid, stores[0].uid)

@@ -1,0 +1,177 @@
+"""CFG, dominators, and loop detection tests."""
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import find_loops
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.values import Reg
+
+
+def diamond():
+    """entry -> (t|f) -> join."""
+    b = IRBuilder(Module("m"))
+    fn = b.function("f", ["c"])
+    t = b.add_block("t")
+    f = b.add_block("f")
+    j = b.add_block("join")
+    b.cbr(Reg("c"), t, f)
+    b.set_block(t)
+    b.br(j)
+    b.set_block(f)
+    b.br(j)
+    b.set_block(j)
+    b.ret()
+    return fn
+
+
+def nested_loops():
+    """entry -> outer -> inner -> inner|outer -> outer|exit."""
+    b = IRBuilder(Module("m"))
+    fn = b.function("f", ["c"])
+    outer = b.add_block("outer")
+    inner = b.add_block("inner")
+    exit_ = b.add_block("exit")
+    b.br(outer)
+    b.set_block(outer)
+    b.br(inner)
+    b.set_block(inner)
+    b.cbr(Reg("c"), inner, outer)
+    # unreachable exit kept reachable via cbr from outer? rebuild:
+    return fn
+
+
+def loop_fn():
+    b = IRBuilder(Module("m"))
+    fn = b.function("f", ["n"])
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    done = b.add_block("done")
+    b.const(0, Reg("i"))
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), Reg("n"))
+    b.cbr(c, body, done)
+    b.set_block(body)
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(done)
+    b.ret()
+    return fn
+
+
+class TestCFG:
+    def test_diamond_successors(self):
+        cfg = CFG(diamond())
+        assert cfg.successors["entry"] == ["t", "f"]
+        assert cfg.successors["t"] == ["join"]
+        assert cfg.successors["join"] == []
+
+    def test_diamond_predecessors(self):
+        cfg = CFG(diamond())
+        assert sorted(cfg.predecessors["join"]) == ["f", "t"]
+        assert cfg.predecessors["entry"] == []
+
+    def test_same_target_cbr_deduplicated(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("f", ["c"])
+        j = b.add_block("j")
+        b.cbr(Reg("c"), j, j)
+        b.set_block(j)
+        b.ret()
+        cfg = CFG(fn)
+        assert cfg.successors["entry"] == ["j"]
+
+    def test_rpo_starts_at_entry(self):
+        cfg = CFG(loop_fn())
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert set(rpo) == {"entry", "loop", "body", "done"}
+
+    def test_rpo_visits_before_successor_when_acyclic(self):
+        cfg = CFG(diamond())
+        rpo = cfg.reverse_postorder()
+        assert rpo.index("entry") < rpo.index("t")
+        assert rpo.index("t") < rpo.index("join")
+
+    def test_unreachable_block_excluded_from_rpo(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("f", [])
+        b.ret()
+        dead = b.add_block("dead")
+        b.set_block(dead)
+        b.ret()
+        assert "dead" not in CFG(fn).reverse_postorder()
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = CFG(diamond())
+        dom = DominatorTree(cfg)
+        for blk in ("t", "f", "join"):
+            assert dom.dominates("entry", blk)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        dom = DominatorTree(CFG(diamond()))
+        assert not dom.dominates("t", "join")
+        assert dom.idom["join"] == "entry"
+
+    def test_reflexive(self):
+        dom = DominatorTree(CFG(diamond()))
+        assert dom.dominates("t", "t")
+
+    def test_loop_header_dominates_body(self):
+        dom = DominatorTree(CFG(loop_fn()))
+        assert dom.dominates("loop", "body")
+        assert dom.dominates("loop", "done")
+
+    def test_dominators_of_ordered(self):
+        dom = DominatorTree(CFG(loop_fn()))
+        assert dom.dominators_of("body") == ["body", "loop", "entry"]
+
+
+class TestLoops:
+    def test_single_loop_found(self):
+        loops = find_loops(CFG(loop_fn()))
+        assert len(loops) == 1
+        assert loops[0].header == "loop"
+        assert loops[0].body == {"loop", "body"}
+
+    def test_no_loops_in_diamond(self):
+        assert find_loops(CFG(diamond())) == []
+
+    def test_nested_loops(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("f", ["c", "d"])
+        outer = b.add_block("outer")
+        inner = b.add_block("inner")
+        latch = b.add_block("latch")
+        exit_ = b.add_block("exit")
+        b.br(outer)
+        b.set_block(outer)
+        b.br(inner)
+        b.set_block(inner)
+        b.cbr(Reg("c"), inner, latch)
+        b.set_block(latch)
+        b.cbr(Reg("d"), outer, exit_)
+        b.set_block(exit_)
+        b.ret()
+        loops = {l.header: l for l in find_loops(CFG(fn))}
+        assert set(loops) == {"outer", "inner"}
+        assert loops["inner"].body == {"inner"}
+        assert loops["outer"].body == {"outer", "inner", "latch"}
+
+    def test_self_loop(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("f", ["c"])
+        spin = b.add_block("spin")
+        b.br(spin)
+        b.set_block(spin)
+        b.cbr(Reg("c"), spin, "entry2")
+        end = b.add_block("entry2")
+        b.set_block(end)
+        b.ret()
+        loops = find_loops(CFG(fn))
+        assert len(loops) == 1 and loops[0].body == {"spin"}

@@ -1,0 +1,113 @@
+"""Liveness and reaching-definitions tests."""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.analysis.reaching import ReachingDefs
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.instructions import Checkpoint
+from repro.ir.values import Reg
+
+
+def linear_fn():
+    b = IRBuilder(Module("m"))
+    fn = b.function("f", ["a"])
+    x = b.add(Reg("a"), 1, Reg("x"))
+    y = b.mul(Reg("x"), 2, Reg("y"))
+    b.ret(Reg("y"))
+    return fn
+
+
+def loop_counter_fn():
+    b = IRBuilder(Module("m"))
+    fn = b.function("f", ["n"])
+    b.const(0, Reg("i"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    done = b.add_block("done")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), Reg("n"))
+    b.cbr(c, body, done)
+    b.set_block(body)
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(done)
+    b.ret(Reg("i"))
+    return fn
+
+
+class TestLiveness:
+    def test_param_live_at_entry(self):
+        fn = linear_fn()
+        lv = Liveness(fn)
+        assert Reg("a") in lv.live_before("entry", 0)
+
+    def test_dead_after_last_use(self):
+        fn = linear_fn()
+        lv = Liveness(fn)
+        # after x is consumed by the mul, only y matters
+        assert Reg("x") not in lv.live_before("entry", 2)
+        assert Reg("y") in lv.live_before("entry", 2)
+
+    def test_loop_carried_register_live_at_header(self):
+        fn = loop_counter_fn()
+        lv = Liveness(fn)
+        assert Reg("i") in lv.live_in["loop"]
+        assert Reg("n") in lv.live_in["loop"]
+
+    def test_live_out_of_body_feeds_header(self):
+        fn = loop_counter_fn()
+        lv = Liveness(fn)
+        assert Reg("i") in lv.live_out["body"]
+
+    def test_live_sets_in_block_matches_live_before(self):
+        fn = loop_counter_fn()
+        lv = Liveness(fn)
+        sets = lv.live_sets_in_block("body")
+        for i in range(len(sets)):
+            assert sets[i] == lv.live_before("body", i)
+
+    def test_ignore_ckpt_drops_ckpt_only_uses(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("f", [])
+        b.const(7, Reg("dead"))
+        fn.add_instr(fn.blocks["entry"], Checkpoint(Reg("dead")))
+        b.ret()
+        normal = Liveness(fn)
+        semantic = Liveness(fn, ignore_ckpt=True)
+        assert Reg("dead") in normal.live_before("entry", 1)
+        assert Reg("dead") not in semantic.live_before("entry", 1)
+
+
+class TestReachingDefs:
+    def test_param_pseudo_def(self):
+        fn = linear_fn()
+        rd = ReachingDefs(fn)
+        assert rd.defs_before("entry", 0, Reg("a")) == frozenset({("param", "a")})
+
+    def test_def_replaces_previous(self):
+        fn = linear_fn()
+        rd = ReachingDefs(fn)
+        defs = rd.defs_before("entry", 2, Reg("x"))
+        assert len(defs) == 1
+        (d,) = defs
+        assert isinstance(d, int)
+
+    def test_loop_merges_two_defs(self):
+        fn = loop_counter_fn()
+        rd = ReachingDefs(fn)
+        defs = rd.defs_before("loop", 0, Reg("i"))
+        assert len(defs) == 2  # const in entry + add in body
+
+    def test_inside_body_single_def_after_redefinition(self):
+        fn = loop_counter_fn()
+        rd = ReachingDefs(fn)
+        defs = rd.defs_before("body", 1, Reg("i"))
+        assert len(defs) == 1
+
+    def test_env_before_contains_all_regs(self):
+        fn = loop_counter_fn()
+        rd = ReachingDefs(fn)
+        env = rd.env_before("done", 0)
+        assert Reg("i") in env and Reg("n") in env

@@ -1,0 +1,127 @@
+"""Cache models: LRU, dirty eviction, direct-mapped DRAM, priming."""
+
+from repro.arch.caches import CacheHierarchy, DirectMappedCache, SetAssocCache
+from repro.arch.config import CacheConfig, DRAMCacheConfig
+
+
+def tiny_cache(ways=2, sets=2):
+    return SetAssocCache(
+        CacheConfig("T", size_bytes=64 * ways * sets, ways=ways, hit_latency=4)
+    )
+
+
+class TestSetAssoc:
+    def test_miss_then_hit(self):
+        c = tiny_cache()
+        hit, _ = c.access(0, False)
+        assert not hit
+        hit, _ = c.access(0, False)
+        assert hit
+
+    def test_lru_eviction(self):
+        c = tiny_cache(ways=2, sets=1)
+        c.access(0, False)
+        c.access(1, False)
+        c.access(0, False)  # 0 is now MRU
+        _, evicted = c.access(2, False)  # evicts line 1 (LRU)
+        assert evicted is not None and evicted[0] == 1
+
+    def test_dirty_bit_on_eviction(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.access(0, True)  # write: dirty
+        _, evicted = c.access(1, False)
+        assert evicted == (0, True)
+
+    def test_clean_eviction(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.access(0, False)
+        _, evicted = c.access(1, False)
+        assert evicted == (0, False)
+
+    def test_write_marks_existing_line_dirty(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.access(0, False)
+        c.access(0, True)
+        _, evicted = c.access(1, False)
+        assert evicted == (0, True)
+
+    def test_miss_rate(self):
+        c = tiny_cache()
+        c.access(0, False)
+        c.access(0, False)
+        assert c.miss_rate == 0.5
+
+    def test_invalidate(self):
+        c = tiny_cache()
+        c.access(0, False)
+        c.invalidate(0)
+        hit, _ = c.access(0, False)
+        assert not hit
+
+
+class TestDirectMapped:
+    def test_conflict_eviction(self):
+        d = DirectMappedCache(DRAMCacheConfig(size_bytes=2 * 64, hit_latency=1))
+        d.access(0, True)
+        _, evicted = d.access(2, False)  # same index (2 lines)
+        assert evicted == (0, True)
+
+    def test_hit_after_fill(self):
+        d = DirectMappedCache(DRAMCacheConfig(size_bytes=2 * 64, hit_latency=1))
+        d.access(5, False)
+        hit, _ = d.access(5, False)
+        assert hit
+
+
+class TestHierarchy:
+    def _hier(self):
+        return CacheHierarchy(
+            (
+                CacheConfig("L1", 2 * 64, 1, hit_latency=4),
+                CacheConfig("L2", 8 * 64, 2, hit_latency=14),
+            ),
+            DRAMCacheConfig(size_bytes=64 * 64, hit_latency=100),
+        )
+
+    def test_l1_hit_latency(self):
+        h = self._hier()
+        h.access(0, False)
+        lat, to_nvm, _, _ = h.access(0, False)
+        assert lat == 4 and not to_nvm
+
+    def test_cold_miss_reaches_nvm(self):
+        h = self._hier()
+        lat, to_nvm, _, _ = h.access(0, False)
+        assert to_nvm and lat == 14 + 100  # latencies are cumulative per level
+
+    def test_l1_dirty_eviction_reported(self):
+        h = self._hier()
+        h.access(0 * 64, True)
+        h.access(2 * 64, False)  # same L1 set (2 lines, direct in L1)
+        _, _, l1_ev, _ = h.access(4 * 64, False)
+        assert l1_ev is not None or h.levels[0].misses >= 2
+
+    def test_prime_makes_ranges_resident(self):
+        h = self._hier()
+        h.prime([(0, 2 * 64)])  # fits L1
+        lat, to_nvm, _, _ = h.access(0, False)
+        assert lat == 4 and not to_nvm
+
+    def test_prime_respects_capacity(self):
+        h = self._hier()
+        h.prime([(0, 2 * 64), (0x10000, 6 * 64)])  # second range only fits L2+
+        lat, to_nvm, _, _ = h.access(0x10000, False)
+        assert not to_nvm and lat == 14  # cumulative L2 latency
+
+    def test_prime_dram_always(self):
+        h = self._hier()
+        h.prime([(0x20000, 32 * 64)])  # too big for L2, fits DRAM
+        lat, to_nvm, _, _ = h.access(0x20000, False)
+        assert not to_nvm and lat == 14 + 100
+
+    def test_no_dram_hierarchy(self):
+        h = CacheHierarchy(
+            (CacheConfig("L1", 2 * 64, 1, hit_latency=4),), None
+        )
+        _, to_nvm, _, _ = h.access(0, False)
+        assert to_nvm

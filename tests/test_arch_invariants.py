@@ -1,0 +1,97 @@
+"""Cross-cutting timing-simulator invariants over real workload traces."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch import simulate, skylake_machine
+from repro.schemes import ablation_ladder, baseline, capri, cwsp, psp_ideal
+from repro.workloads import PROFILES, generate_trace
+from repro.workloads.synthetic import prime_ranges
+
+APPS = ["namd", "lbm", "radix", "tpcc", "xsbench", "kmeans"]
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return skylake_machine(scaled=True)
+
+
+@pytest.fixture(scope="module", params=APPS)
+def app(request):
+    return request.param
+
+
+class TestConservation:
+    def test_event_counts_consistent(self, machine, app):
+        p = PROFILES[app]
+        tr = generate_trace(p, N, seed=2, instrument="pruned")
+        s = simulate(tr, machine, cwsp(), prime=prime_ranges(p))
+        assert s.insts == len(tr)
+        assert s.loads + s.stores + s.boundaries <= s.insts
+
+    def test_cwsp_persist_bytes_exact(self, machine, app):
+        p = PROFILES[app]
+        tr = generate_trace(p, N, seed=2, instrument="pruned")
+        s = simulate(tr, machine, cwsp(), prime=prime_ranges(p))
+        # no coalescing: every store (incl. ckpts and atomics) sends 8B
+        assert s.persist_path_bytes == 8 * s.nvm_writes
+
+    def test_baseline_no_persist_traffic(self, machine, app):
+        p = PROFILES[app]
+        tr = generate_trace(p, N, seed=2)
+        s = simulate(tr, machine, baseline(), prime=prime_ranges(p))
+        assert s.persist_path_bytes == 0
+        assert s.pb_full_stalls == 0 and s.rbt_full_stalls == 0
+        assert s.boundary_stall_cycles == 0.0
+
+    def test_miss_rates_are_rates(self, machine, app):
+        p = PROFILES[app]
+        tr = generate_trace(p, N, seed=2)
+        s = simulate(tr, machine, baseline(), prime=prime_ranges(p))
+        assert 0.0 <= s.l1_miss_rate <= 1.0
+        assert 0.0 <= s.llc_miss_rate <= 1.0
+
+    def test_capri_coalescing_never_exceeds_per_store(self, machine, app):
+        p = PROFILES[app]
+        tr = generate_trace(p, N, seed=2, instrument="unpruned")
+        s = simulate(tr, machine, capri(), prime=prime_ranges(p))
+        assert s.nvm_writes <= s.stores
+
+
+class TestMonotonicity:
+    def test_more_bandwidth_never_slower(self, machine, app):
+        p = PROFILES[app]
+        tr = generate_trace(p, N, seed=2, instrument="pruned")
+        prime = prime_ranges(p)
+        slow = simulate(tr, replace(machine, persist_bw_gbps=1.0), cwsp(), prime=prime)
+        fast = simulate(tr, replace(machine, persist_bw_gbps=16.0), cwsp(), prime=prime)
+        assert fast.cycles <= slow.cycles * 1.001
+
+    def test_bigger_rbt_never_slower(self, machine, app):
+        p = PROFILES[app]
+        tr = generate_trace(p, N, seed=2, instrument="pruned")
+        prime = prime_ranges(p)
+        small = simulate(tr, replace(machine, rbt_entries=4), cwsp(), prime=prime)
+        big = simulate(tr, replace(machine, rbt_entries=64), cwsp(), prime=prime)
+        assert big.cycles <= small.cycles * 1.001
+
+    def test_ladder_final_stage_cheaper_than_peak(self, machine, app):
+        p = PROFILES[app]
+        prime = prime_ranges(p)
+        base = simulate(generate_trace(p, N, seed=2), machine, baseline(), prime=prime)
+        results = {}
+        for name, scheme, tk in ablation_ladder():
+            tr = generate_trace(p, N, seed=2, instrument=tk["ckpts"])
+            results[name] = simulate(tr, machine, scheme, prime=prime).cycles / base.cycles
+        assert results["+Pruning (cWSP)"] <= results["+Persist Path"] * 1.02
+
+    def test_psp_never_beats_dram_cached_baseline_on_dram_resident(self, machine):
+        # an app whose working set is DRAM-resident must suffer in PSP
+        p = PROFILES["astar"]
+        tr = generate_trace(p, N, seed=2)
+        prime = prime_ranges(p)
+        base = simulate(tr, machine, baseline(), prime=prime)
+        psp = simulate(tr, machine, psp_ideal(), prime=prime)
+        assert psp.cycles >= base.cycles

@@ -1,0 +1,93 @@
+"""Multi-core timing simulation tests."""
+
+import pytest
+
+from repro.arch import simulate, skylake_machine
+from repro.arch.multicore import MulticoreSimulator, simulate_multicore
+from repro.schemes import baseline, cwsp
+from repro.workloads import PROFILES, generate_trace
+from repro.workloads.synthetic import prime_ranges
+
+
+def traces(n_cores, n=4000):
+    apps = ["radix", "fft", "lu-cg", "ocg", "water-ns", "cholesky", "oncg", "lu-ncg"]
+    return [
+        generate_trace(PROFILES[apps[i % len(apps)]], n, seed=i, instrument="pruned")
+        for i in range(n_cores)
+    ]
+
+
+@pytest.fixture
+def machine():
+    return skylake_machine(scaled=True)
+
+
+class TestStructure:
+    def test_rejects_zero_cores(self, machine):
+        with pytest.raises(ValueError):
+            MulticoreSimulator(machine, cwsp(), 0)
+
+    def test_rejects_too_many_traces(self, machine):
+        sim = MulticoreSimulator(machine, cwsp(), 2)
+        with pytest.raises(ValueError):
+            sim.run(traces(3, 100))
+
+    def test_shared_llc_tags(self, machine):
+        sim = MulticoreSimulator(machine, cwsp(), 4)
+        for core in sim.cores[1:]:
+            assert core.hier.levels[1] is sim.cores[0].hier.levels[1]
+            assert core.hier.dram is sim.cores[0].hier.dram
+            assert core.hier.levels[0] is not sim.cores[0].hier.levels[0]
+
+    def test_shared_wpq(self, machine):
+        sim = MulticoreSimulator(machine, cwsp(), 4)
+        for core in sim.cores[1:]:
+            assert core.wpq is sim.cores[0].wpq
+
+
+class TestBehaviour:
+    def test_single_core_matches_unicore_sim(self, machine):
+        tr = traces(1, 3000)
+        multi = simulate_multicore(tr, machine, cwsp())
+        uni = simulate(tr[0], machine, cwsp())
+        assert multi.cycles == pytest.approx(uni.cycles, rel=1e-9)
+        assert multi.insts == uni.insts
+
+    def test_makespan_is_max_core_time(self, machine):
+        stats = simulate_multicore(traces(4, 2000), machine, cwsp())
+        assert stats.cycles == max(s.cycles for s in stats.per_core)
+        assert len(stats.per_core) == 4
+
+    def test_contention_slows_cores_down(self, machine):
+        """8 SPLASH cores contending for 2 MCs suffer more WPQ pressure
+        than one core alone."""
+        tr = traces(8, 3000)
+        multi = simulate_multicore(tr, machine, cwsp())
+        solo_cycles = [simulate(t, machine, cwsp()).cycles for t in tr]
+        assert multi.cycles >= max(solo_cycles) * 0.999
+        # summed NVM writes hit the shared controllers
+        assert multi.total_nvm_writes == sum(
+            simulate(t, machine, cwsp()).nvm_writes for t in tr
+        )
+
+    def test_idle_cores_allowed(self, machine):
+        stats = simulate_multicore(traces(2, 1000), machine, cwsp(), n_cores=4)
+        assert len(stats.per_core) == 4
+        assert stats.per_core[3].insts == 0
+
+    def test_priming_shared_levels(self, machine):
+        p = PROFILES["radix"]
+        tr = [generate_trace(p, 2000, seed=i, instrument="pruned") for i in range(2)]
+        with_prime = simulate_multicore(
+            tr, machine, cwsp(), prime=prime_ranges(p)
+        )
+        without = simulate_multicore(tr, machine, cwsp())
+        assert with_prime.cycles <= without.cycles * 1.001
+
+    def test_baseline_multicore_runs(self, machine):
+        tr = [t for t in traces(4, 2000)]
+        plain = [
+            [e for e in t if e[0] not in ("b", "c")] for t in tr
+        ]
+        stats = simulate_multicore(plain, machine, baseline())
+        assert stats.cycles > 0

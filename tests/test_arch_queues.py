@@ -1,0 +1,71 @@
+"""CompletionQueue semantics: FIFO, capacity, occupancy integral."""
+
+import pytest
+
+from repro.arch.queues import CompletionQueue
+
+
+class TestAdvance:
+    def test_pops_completed_entries(self):
+        q = CompletionQueue(4)
+        q.push(10.0)
+        q.push(20.0)
+        q.advance(15.0)
+        assert q.occupancy() == 1
+
+    def test_keeps_pending_entries(self):
+        q = CompletionQueue(4)
+        q.push(10.0)
+        q.advance(5.0)
+        assert q.occupancy() == 1
+
+    def test_occupancy_integral_exact(self):
+        q = CompletionQueue(4)
+        q.push(10.0)  # occupied [0, 10)
+        q.advance(20.0)
+        assert q.occ_integral == pytest.approx(10.0)
+        assert q.mean_occupancy(20.0) == pytest.approx(0.5)
+
+    def test_integral_with_overlap(self):
+        q = CompletionQueue(4)
+        q.push(10.0)
+        q.push(10.0)  # two entries until t=10
+        q.advance(10.0)
+        assert q.occ_integral == pytest.approx(20.0)
+
+
+class TestAdmit:
+    def test_admit_when_space(self):
+        q = CompletionQueue(2)
+        assert q.admit(5.0) == 5.0
+
+    def test_admit_stalls_until_head_completes(self):
+        q = CompletionQueue(2)
+        q.push(10.0)
+        q.push(12.0)
+        t = q.admit(3.0)
+        assert t == 10.0
+        assert q.full_stalls == 1
+
+    def test_admit_pops_finished_first(self):
+        q = CompletionQueue(2)
+        q.push(1.0)
+        q.push(2.0)
+        t = q.admit(5.0)  # both already done by t=5
+        assert t == 5.0
+        assert q.full_stalls == 0
+
+
+class TestFIFOOrder:
+    def test_push_clamps_to_fifo_completion(self):
+        q = CompletionQueue(4)
+        q.push(10.0)
+        q.push(5.0)  # completes no earlier than its predecessor
+        q.advance(7.0)
+        assert q.occupancy() == 2
+
+    def test_head_completion(self):
+        q = CompletionQueue(4)
+        assert q.head_completion() == 0.0
+        q.push(3.0)
+        assert q.head_completion() == 3.0

@@ -1,0 +1,214 @@
+"""Checkpoint insertion and Penny pruning tests."""
+
+import pytest
+
+from repro.compiler import (
+    CompileOptions,
+    compile_module,
+    insert_checkpoints,
+    insert_initial_boundaries,
+    cut_antidependences,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.instructions import Boundary, Checkpoint
+from repro.ir.interpreter import Interpreter, Memory
+from repro.ir.values import Reg
+
+
+def ckpts_of(fn):
+    return [i for _, i in fn.instructions() if isinstance(i, Checkpoint)]
+
+
+def build_cross_boundary():
+    """x defined before a manual boundary, used after it."""
+    b = IRBuilder(Module("m"))
+    fn = b.function("main", [])
+    p = b.alloca(8, Reg("p"))
+    x = b.load(Reg("p"), 0, Reg("x"))
+    b.boundary("manual")
+    b.out(Reg("x"))
+    b.ret()
+    return b.module, fn
+
+
+class TestInsertion:
+    def test_cross_boundary_def_checkpointed(self):
+        module, fn = build_cross_boundary()
+        n = insert_checkpoints(fn)
+        regs = {c.reg for c in ckpts_of(fn)}
+        assert Reg("x") in regs
+        # ckpt goes right after the defining load
+        idx = next(
+            i for i, ins in enumerate(fn.entry.instrs) if ins.dest() is Reg("x")
+        )
+        assert isinstance(fn.entry.instrs[idx + 1], Checkpoint)
+
+    def test_value_dead_at_boundary_not_checkpointed(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("main", [])
+        x = b.const(1, Reg("x"))
+        b.out(Reg("x"))  # last use before the boundary
+        b.boundary("manual")
+        b.ret()
+        insert_checkpoints(fn)
+        assert ckpts_of(fn) == []
+
+    def test_redefined_before_boundary_not_checkpointed(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("main", [])
+        b.const(1, Reg("x"))
+        b.const(2, Reg("x"))  # first def never crosses the boundary
+        b.boundary("manual")
+        b.out(Reg("x"))
+        b.ret()
+        insert_checkpoints(fn)
+        cks = ckpts_of(fn)
+        assert len(cks) == 1  # only the second definition
+
+    def test_loop_carried_def_checkpointed(self, rmw_loop):
+        fn = rmw_loop.get("main")
+        insert_initial_boundaries(fn)
+        cut_antidependences(fn)
+        insert_checkpoints(fn)
+        regs = {c.reg for c in ckpts_of(fn)}
+        assert Reg("i") in regs
+
+    def test_call_result_checkpointed_before_post_call_boundary(self, call_chain):
+        fn = call_chain.get("main")
+        insert_initial_boundaries(fn)
+        insert_checkpoints(fn)
+        instrs = fn.entry.instrs
+        for i, ins in enumerate(instrs):
+            if isinstance(ins, Checkpoint) and ins.reg is Reg("r"):
+                assert isinstance(instrs[i + 1], Boundary)
+                assert instrs[i + 1].kind == "post_call"
+                return
+        pytest.fail("call result not checkpointed")
+
+
+class TestPruning:
+    def test_const_checkpoint_pruned(self):
+        b = IRBuilder(Module("m"))
+        b.function("main", [])
+        b.const(7, Reg("k"))
+        b.boundary("manual")
+        b.out(Reg("k"))
+        b.ret()
+        report = compile_module(b.module, CompileOptions())
+        fr = report.functions["main"]
+        assert fr.ckpts_pruned >= 1
+        # the recovery slice rematerializes k from the immediate
+        rs = next(
+            s for (f, _), s in b.module.recovery_slices.items()
+            if f == "main" and Reg("k") in s.live_in
+        )
+        assert ("const", Reg("k"), 7) in s_ops(rs)
+
+    def test_load_checkpoint_kept(self):
+        b = IRBuilder(Module("m"))
+        b.function("main", [])
+        p = b.alloca(8, Reg("p"))
+        b.load(Reg("p"), 0, Reg("x"))
+        b.boundary("manual")
+        b.out(Reg("x"))
+        b.ret()
+        report = compile_module(b.module)
+        fn = b.module.get("main")
+        assert any(c.reg is Reg("x") for c in ckpts_of(fn))
+
+    def test_derived_value_rebuilt_from_kept_checkpoint(self):
+        # Figure 4(b): r3 = ckpt'd load-ish value; derived shift pruned.
+        b = IRBuilder(Module("m"))
+        b.function("main", [])
+        p = b.alloca(8, Reg("p"))
+        b.load(Reg("p"), 0, Reg("r4"))
+        b.boundary("manual")
+        r3 = b.shl(Reg("r4"), 2, Reg("r3"))
+        b.boundary("manual")
+        b.out(Reg("r3"))
+        b.out(Reg("r4"))
+        b.ret()
+        compile_module(b.module)
+        fn = b.module.get("main")
+        regs = {c.reg for c in ckpts_of(fn)}
+        assert Reg("r4") in regs      # load: must be kept
+        assert Reg("r3") not in regs  # shift: rebuilt by the RS
+        rs = next(
+            s for (f, _), s in b.module.recovery_slices.items()
+            if Reg("r3") in s.live_in
+        )
+        ops = s_ops(rs)
+        assert ("restore", Reg("r4")) in ops
+        assert any(op[0] == "binop" and op[1] == "shl" for op in ops)
+
+    def test_pruning_disabled_keeps_everything(self):
+        b = IRBuilder(Module("m"))
+        b.function("main", [])
+        b.const(7, Reg("k"))
+        b.boundary("manual")
+        b.out(Reg("k"))
+        b.ret()
+        report = compile_module(b.module, CompileOptions(pruning=False))
+        assert report.functions["main"].ckpts_pruned == 0
+        assert report.functions["main"].ckpts_kept == 1
+
+    def test_multi_def_registers_keep_all_checkpoints(self):
+        b = IRBuilder(Module("m"))
+        b.function("main", ["c"])
+        t = b.add_block("t")
+        f = b.add_block("f")
+        j = b.add_block("j")
+        b.cbr(Reg("c"), t, f)
+        b.set_block(t)
+        b.const(1, Reg("x"))
+        b.br(j)
+        b.set_block(f)
+        b.const(2, Reg("x"))
+        b.br(j)
+        b.set_block(j)
+        b.boundary("manual")
+        b.out(Reg("x"))
+        b.ret()
+        compile_module(b.module)
+        fn = b.module.get("main")
+        # two defs reach the boundary: neither checkpoint is prunable
+        assert sum(1 for c in ckpts_of(fn) if c.reg is Reg("x")) == 2
+
+    def test_recovery_slices_cover_every_boundary(self, rmw_loop):
+        compile_module(rmw_loop)
+        fn = rmw_loop.get("main")
+        from repro.analysis.cfg import CFG
+
+        reachable = set(CFG(fn).reachable())
+        for name, block in fn.blocks.items():
+            if name not in reachable:
+                continue
+            for instr in block.instrs:
+                if isinstance(instr, Boundary):
+                    assert ("main", instr.uid) in rmw_loop.recovery_slices
+
+    def test_slice_execution_restores_from_slots(self):
+        b = IRBuilder(Module("m"))
+        b.function("main", [])
+        p = b.alloca(8, Reg("p"))
+        b.load(Reg("p"), 0, Reg("x"))
+        b.boundary("manual")
+        b.out(Reg("x"))
+        b.ret()
+        compile_module(b.module)
+        rs = next(
+            s for (f, _), s in b.module.recovery_slices.items()
+            if Reg("x") in s.live_in
+        )
+        from repro.ir.interpreter import CKPT_BASE
+
+        mem = Memory()
+        slot = b.module.ckpt_slots[("main", "x")]
+        mem.store(CKPT_BASE + slot * 8, 12345)
+        restored = rs.execute(b.module, mem)
+        assert restored[Reg("x")] == 12345
+
+
+def s_ops(rs):
+    return list(rs.ops)

@@ -1,0 +1,107 @@
+"""Pipeline option combinations and report aggregation."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_module
+from repro.ir.instructions import Boundary, Checkpoint
+from repro.ir.interpreter import Interpreter
+from tests.conftest import build_call_chain, build_rmw_loop
+
+
+def count(module, cls):
+    return sum(
+        1
+        for fn in module.functions.values()
+        for _, i in fn.instructions()
+        if isinstance(i, cls)
+    )
+
+
+class TestOptions:
+    def test_default_runs_everything(self):
+        module = build_rmw_loop()
+        report = compile_module(module)
+        assert count(module, Boundary) > 0
+        assert count(module, Checkpoint) > 0
+        assert module.recovery_slices
+
+    def test_region_formation_disabled_is_identity(self):
+        module = build_rmw_loop()
+        before = module.get("main").instr_count()
+        report = compile_module(module, CompileOptions(region_formation=False))
+        assert module.get("main").instr_count() == before
+        assert count(module, Boundary) == 0
+        assert report.total_boundaries == 0
+
+    def test_checkpoints_disabled(self):
+        module = build_rmw_loop()
+        compile_module(module, CompileOptions(checkpoints=False))
+        assert count(module, Boundary) > 0
+        assert count(module, Checkpoint) == 0
+        assert not module.recovery_slices
+
+    def test_no_loop_boundaries(self):
+        module = build_rmw_loop()
+        compile_module(module, CompileOptions(loop_boundaries=False))
+        kinds = {
+            i.kind
+            for fn in module.functions.values()
+            for _, i in fn.instructions()
+            if isinstance(i, Boundary)
+        }
+        assert "loop" not in kinds
+
+    def test_pruning_off_keeps_more_checkpoints(self):
+        pruned = build_rmw_loop()
+        unpruned = build_rmw_loop()
+        compile_module(pruned, CompileOptions(pruning=True))
+        compile_module(unpruned, CompileOptions(pruning=False))
+        assert count(unpruned, Checkpoint) >= count(pruned, Checkpoint)
+
+    def test_compiled_semantics_preserved_without_pruning(self):
+        module = build_rmw_loop()
+        ref, _ = Interpreter(build_rmw_loop()).run_trace()
+        compile_module(module, CompileOptions(pruning=False))
+        got, _ = Interpreter(module, spill_args=True).run_trace()
+        assert got.output == ref.output
+
+
+class TestReport:
+    def test_per_function_entries(self):
+        module = build_call_chain()
+        report = compile_module(module)
+        assert set(report.functions) == {"main", "double"}
+
+    def test_boundary_kind_breakdown(self):
+        module = build_call_chain()
+        report = compile_module(module)
+        main = report.functions["main"]
+        assert main.boundaries.get("entry") == 1
+        assert main.boundaries.get("call") == 1
+        assert main.boundaries.get("post_call") == 1
+
+    def test_totals_sum_functions(self):
+        module = build_call_chain()
+        report = compile_module(module)
+        assert report.total_boundaries == sum(
+            f.total_boundaries for f in report.functions.values()
+        )
+        assert report.total_ckpts_inserted == (
+            report.total_ckpts_pruned + report.total_ckpts_kept
+        )
+
+    def test_summary_text(self):
+        module = build_rmw_loop()
+        report = compile_module(module)
+        text = report.summary()
+        assert "boundaries" in text and "pruned" in text
+
+    def test_idempotent_recompilation_safe(self):
+        # compiling twice must not create antidependences or break
+        # execution (boundaries are not reinserted at the same points)
+        module = build_rmw_loop()
+        compile_module(module)
+        first, _ = Interpreter(module, spill_args=True).run_trace()
+        compile_module(module)
+        second, _ = Interpreter(module, spill_args=True).run_trace()
+        assert first.output == second.output

@@ -1,0 +1,163 @@
+"""Region formation: initial boundaries and antidependence cutting."""
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.compiler.regions import (
+    cut_antidependences,
+    find_antidependent_stores,
+    insert_initial_boundaries,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.instructions import Boundary, Call, Store
+from repro.ir.values import Reg
+from tests.conftest import build_rmw_loop, build_straightline
+
+
+def boundaries_of(fn, kind=None):
+    return [
+        i
+        for _, i in fn.instructions()
+        if isinstance(i, Boundary) and (kind is None or i.kind == kind)
+    ]
+
+
+class TestInitialBoundaries:
+    def test_entry_boundary_inserted_first(self, straightline):
+        fn = straightline.get("main")
+        insert_initial_boundaries(fn)
+        assert isinstance(fn.entry.instrs[0], Boundary)
+        assert fn.entry.instrs[0].kind == "entry"
+
+    def test_boundaries_surround_calls(self, call_chain):
+        fn = call_chain.get("main")
+        insert_initial_boundaries(fn)
+        instrs = fn.entry.instrs
+        call_idx = next(i for i, x in enumerate(instrs) if isinstance(x, Call))
+        assert isinstance(instrs[call_idx - 1], Boundary)
+        assert instrs[call_idx - 1].kind == "call"
+        assert isinstance(instrs[call_idx + 1], Boundary)
+        assert instrs[call_idx + 1].kind == "post_call"
+
+    def test_boundary_at_loop_header(self, rmw_loop):
+        fn = rmw_loop.get("main")
+        insert_initial_boundaries(fn)
+        assert isinstance(fn.blocks["loop"].instrs[0], Boundary)
+        assert fn.blocks["loop"].instrs[0].kind == "loop"
+
+    def test_loop_boundaries_can_be_disabled(self, rmw_loop):
+        fn = rmw_loop.get("main")
+        insert_initial_boundaries(fn, loop_boundaries=False)
+        assert not isinstance(fn.blocks["loop"].instrs[0], Boundary)
+
+    def test_sync_boundaries_around_atomics(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("main", [])
+        p = b.alloca(8)
+        b.atomic("add", p, 1)
+        b.ret()
+        insert_initial_boundaries(fn)
+        kinds = [type(i).__name__ for i in fn.entry.instrs]
+        sync_positions = [
+            i for i, x in enumerate(fn.entry.instrs)
+            if isinstance(x, Boundary) and x.kind == "sync"
+        ]
+        assert len(sync_positions) == 2
+
+    def test_idempotent_reapplication(self, straightline):
+        fn = straightline.get("main")
+        n1 = insert_initial_boundaries(fn)
+        n2 = insert_initial_boundaries(fn)
+        assert n1 > 0 and n2 == 0
+
+
+class TestAntidependence:
+    def test_war_pair_detected(self, straightline):
+        fn = straightline.get("main")
+        insert_initial_boundaries(fn)
+        flagged = find_antidependent_stores(fn)
+        assert len(flagged) == 1  # the store of s back to p+0
+
+    def test_cut_resolves_all(self, straightline):
+        fn = straightline.get("main")
+        insert_initial_boundaries(fn)
+        cuts = cut_antidependences(fn)
+        assert cuts == 1
+        assert find_antidependent_stores(fn) == []
+
+    def test_cut_goes_directly_before_store(self, straightline):
+        fn = straightline.get("main")
+        insert_initial_boundaries(fn)
+        cut_antidependences(fn)
+        instrs = fn.entry.instrs
+        for i, instr in enumerate(instrs):
+            if isinstance(instr, Boundary) and instr.kind == "antidep":
+                assert isinstance(instrs[i + 1], Store)
+                return
+        pytest.fail("no antidep boundary found")
+
+    def test_loop_rmw_cut(self, rmw_loop):
+        fn = rmw_loop.get("main")
+        insert_initial_boundaries(fn)
+        cuts = cut_antidependences(fn)
+        assert cuts >= 1
+        assert find_antidependent_stores(fn) == []
+
+    def test_boundary_clears_exposure(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("main", [])
+        p = b.alloca(8)
+        x = b.load(p)
+        b.boundary("manual")  # manually cut: no WAR remains
+        b.store(x, p)
+        b.ret()
+        assert find_antidependent_stores(fn) == []
+
+    def test_call_clears_exposure(self):
+        b = IRBuilder(Module("m"))
+        b.function("leaf", [])
+        b.ret()
+        fn = b.function("main", [])
+        p = b.alloca(8)
+        x = b.load(p)
+        b.call("leaf", [])
+        b.store(x, p)
+        b.ret()
+        # calls are region boundaries: exposure cleared
+        assert find_antidependent_stores(fn) == []
+
+    def test_disjoint_accesses_not_flagged(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("main", [])
+        p = b.alloca(16)
+        x = b.load(p, 0)
+        b.store(x, p, 8)  # different word: no WAR
+        b.ret()
+        assert find_antidependent_stores(fn) == []
+
+    def test_cross_block_war_detected(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("main", ["c"])
+        p = b.alloca(8, Reg("p"))
+        x = b.load(Reg("p"), 0, Reg("x"))
+        t = b.add_block("t")
+        f = b.add_block("f")
+        b.cbr(Reg("c"), t, f)
+        b.set_block(t)
+        b.store(Reg("x"), Reg("p"))  # WAR reached through the branch
+        b.ret()
+        b.set_block(f)
+        b.ret()
+        flagged = find_antidependent_stores(fn)
+        assert len(flagged) == 1
+
+    def test_store_then_load_is_fine(self):
+        b = IRBuilder(Module("m"))
+        fn = b.function("main", [])
+        p = b.alloca(8)
+        b.store(1, p)
+        x = b.load(p)  # RAW: allowed within a region
+        b.out(x)
+        b.ret()
+        assert find_antidependent_stores(fn) == []

@@ -1,0 +1,133 @@
+"""Region statistics and the command-line compiler driver."""
+
+import io
+import sys
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.compiler.stats import (
+    dynamic_region_stats,
+    module_region_report,
+    static_region_stats,
+)
+from repro.workloads.programs import build_kernel
+from tests.conftest import build_rmw_loop
+
+IR_TEXT = """
+func @main() {
+entry:
+  %base = const 134217728
+  %i = const 0
+  br loop
+loop:
+  %c = slt %i, 8
+  cbr %c, body, done
+body:
+  %off = shl %i, 3
+  %addr = add %base, %off
+  %v = load [%addr]
+  %v2 = add %v, 1
+  store %v2, [%addr]
+  %i = add %i, 1
+  br loop
+done:
+  %s = load [%base]
+  out %s
+  ret
+}
+"""
+
+
+class TestRegionStats:
+    def test_dynamic_mean_matches_trace(self):
+        module = build_rmw_loop()
+        compile_module(module)
+        stats = dynamic_region_stats(module)
+        assert stats.region_count > 5
+        assert 2 < stats.mean_insts < 30
+
+    def test_stores_per_region_small(self):
+        # Section V-B2: "each region has only a handful of stores (4 on
+        # average)" -- our kernels land in the same ballpark.
+        module, entry, args = build_kernel("counter")
+        compile_module(module)
+        stats = dynamic_region_stats(module, entry, args)
+        assert 0 < stats.mean_stores < 8
+
+    def test_static_report_covers_all_functions(self):
+        module, _, _ = build_kernel("linked_list")
+        compile_module(module)
+        report = module_region_report(module)
+        assert set(report) == set(module.functions)
+        assert all(r.region_count >= 1 for r in report.values())
+
+    def test_static_stats_on_uncompiled_function_empty(self):
+        module = build_rmw_loop()
+        stats = static_region_stats(module.get("main"))
+        assert stats.region_count == 0
+
+
+class TestCompilerCLI:
+    def run_cli(self, tmp_path, *flags):
+        from repro.compiler.__main__ import main
+
+        path = tmp_path / "prog.ir"
+        path.write_text(IR_TEXT)
+        out = io.StringIO()
+        old = sys.stdout
+        sys.stdout = out
+        try:
+            rc = main([str(path), *flags])
+        finally:
+            sys.stdout = old
+        return rc, out.getvalue()
+
+    def test_compile_prints_ir(self, tmp_path):
+        rc, out = self.run_cli(tmp_path)
+        assert rc == 0
+        assert "boundary" in out and "ckpt" in out
+
+    def test_stats_flag(self, tmp_path):
+        rc, out = self.run_cli(tmp_path, "--stats")
+        assert rc == 0
+        assert "boundaries" in out and "pruned" in out
+
+    def test_slices_flag(self, tmp_path):
+        rc, out = self.run_cli(tmp_path, "--slices")
+        assert "RS @main" in out
+
+    def test_run_flag_prints_output(self, tmp_path):
+        rc, out = self.run_cli(tmp_path, "--run")
+        assert "# output: [1]" in out  # a[0] incremented once
+
+    def test_check_flag_sweeps_failures(self, tmp_path):
+        rc, out = self.run_cli(tmp_path, "--check")
+        assert rc == 0
+        assert "crash consistency: OK" in out
+
+    def test_no_pruning_flag(self, tmp_path):
+        _, pruned = self.run_cli(tmp_path, "--stats")
+        _, unpruned = self.run_cli(tmp_path, "--stats", "--no-pruning")
+        assert "0 pruned" in unpruned or "/ 0 pruned" in unpruned
+
+    def test_example_ir_file_compiles(self):
+        from repro.compiler.__main__ import main
+
+        rc = main(["examples/programs/rmw_loop.ir"])
+        assert rc == 0
+
+
+class TestFig19FromRealKernels:
+    """A second data source for Figure 19: region sizes of compiled IR
+    kernels (not just the synthetic profiles)."""
+
+    def test_kernel_regions_are_tens_of_instructions(self):
+        means = []
+        for name in ("counter", "linked_list", "hashmap", "sort"):
+            module, entry, args = build_kernel(name)
+            compile_module(module)
+            stats = dynamic_region_stats(module, entry, args)
+            means.append(stats.mean_insts)
+        overall = sum(means) / len(means)
+        assert 3 < overall < 60  # "tens of instructions" territory

@@ -1,0 +1,117 @@
+"""Harness: runner caching, report formatting, small figure runs."""
+
+import pytest
+
+from repro.arch import skylake_machine
+from repro.harness import FigureResult, Runner, format_table, gmean
+from repro.schemes import baseline, cwsp
+
+
+class TestGmean:
+    def test_identity(self):
+        assert gmean([2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gmean([])
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        text = format_table(["app", "x"], [["foo", 1.25]], title="T")
+        assert "T" in text and "app" in text and "1.250" in text
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["a", "value"], [["x", 1.0]])
+        line = text.splitlines()[-1]
+        assert line.endswith("1.000")
+
+
+class TestFigureResult:
+    def test_add_and_column(self):
+        r = FigureResult("F", "d", ["app", "v"])
+        r.add("a", 1.5)
+        r.add("b", 2.5)
+        assert r.column("v") == [1.5, 2.5]
+
+    def test_format_includes_summary(self):
+        r = FigureResult("F", "d", ["app", "v"], summary={"g": 1.06})
+        r.add("a", 1.0)
+        assert "g=1.060" in r.format_table()
+
+
+class TestRunner:
+    def test_trace_cached(self):
+        r = Runner(n_insts=2000)
+        t1 = r.trace("namd", "pruned")
+        t2 = r.trace("namd", "pruned")
+        assert t1 is t2
+
+    def test_stats_cached(self):
+        r = Runner(n_insts=2000)
+        m = skylake_machine(scaled=True)
+        s1 = r.stats("namd", cwsp(), m)
+        s2 = r.stats("namd", cwsp(), m)
+        assert s1 is s2
+
+    def test_slowdown_at_least_one_ish(self):
+        r = Runner(n_insts=5000)
+        m = skylake_machine(scaled=True)
+        s = r.slowdown("namd", cwsp(), m)
+        assert 0.99 <= s < 2.0
+
+    def test_baseline_slowdown_is_one(self):
+        r = Runner(n_insts=5000)
+        m = skylake_machine(scaled=True)
+        assert r.slowdown("namd", baseline(), m, None) == pytest.approx(1.0)
+
+
+class TestFigureFunctions:
+    """Tiny-n smoke runs of every figure entry point."""
+
+    def test_fig13_structure(self):
+        from repro.harness.figures import fig13
+
+        result = fig13(n_insts=3000)
+        assert len([r for r in result.rows if not str(r[0]).startswith("[")]) == 37
+        assert result.rows[-1][0] == "[All gmean]"
+        assert 1.0 <= result.summary["all_gmean"] < 1.5
+
+    def test_tab01_lists_cxl_devices(self):
+        from repro.harness.figures import tab01
+
+        result = tab01()
+        assert [r[0] for r in result.rows] == ["CXL-A", "CXL-B", "CXL-C", "CXL-D"]
+
+    def test_hw_overhead_is_176_bytes(self):
+        from repro.harness.figures import hardware_overhead
+
+        result = hardware_overhead()
+        assert result.summary["rbt_bytes"] == 176.0
+
+    def test_fig22_rbt_monotone(self):
+        from repro.harness.figures import fig22
+
+        result = fig22(n_insts=4000)
+        row = result.rows[-1]
+        assert row[1] >= row[2] >= row[3] * 0.99  # smaller RBT never faster
+
+    def test_fig01_depth_monotone(self):
+        from repro.harness.figures import fig01
+
+        result = fig01(n_insts=4000)
+        row = result.rows[-1]  # all-gmean
+        assert row[1] > row[4]  # 2-level slowdown worse than 5-level
+
+    def test_experiment_registry_complete(self):
+        from repro.harness.figures import ALL_EXPERIMENTS
+
+        expected = {
+            "fig01", "fig06", "fig08", "fig13", "fig14", "fig15", "tab01",
+            "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+            "fig24", "fig25", "fig26", "fig27", "hw", "recovery",
+        }
+        assert expected <= set(ALL_EXPERIMENTS)

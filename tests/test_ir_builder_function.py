@@ -1,0 +1,131 @@
+"""Builder conveniences and Function/Module container APIs."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import BinOp, Const, Ret, Store
+from repro.ir.interpreter import Interpreter
+from repro.ir.values import Imm, Reg
+
+
+class TestBuilder:
+    def test_fresh_registers_unique(self):
+        b = IRBuilder()
+        names = {b.fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_emit_requires_insertion_point(self):
+        b = IRBuilder()
+        with pytest.raises(AssertionError):
+            b.const(1)
+
+    def test_int_operands_coerced(self):
+        b = IRBuilder()
+        b.function("f", [])
+        r = b.add(1, 2)
+        instr = b.module.get("f").entry.instrs[0]
+        assert isinstance(instr, BinOp)
+        assert instr.lhs == Imm(1) and instr.rhs == Imm(2)
+
+    def test_set_block_by_name(self):
+        b = IRBuilder()
+        b.function("f", [])
+        b.add_block("other")
+        blk = b.set_block("other")
+        assert isinstance(blk, BasicBlock) and blk.name == "other"
+
+    def test_named_destination(self):
+        b = IRBuilder()
+        b.function("f", [])
+        r = b.const(5, Reg("answer"))
+        assert r is Reg("answer")
+
+    def test_void_call_returns_none(self):
+        b = IRBuilder()
+        b.function("f", [])
+        assert b.call("sbrk", [8], void=True) is None
+
+    def test_helpers_cover_all_ops(self):
+        b = IRBuilder()
+        b.function("f", [])
+        x = b.const(8)
+        for helper in (b.add, b.sub, b.mul, b.sdiv, b.srem, b.and_, b.or_, b.xor, b.shl, b.lshr):
+            helper(x, 2)
+        b.ret()
+        assert b.module.get("f").instr_count() == 12
+
+    def test_branch_accepts_block_objects(self):
+        b = IRBuilder()
+        b.function("f", [])
+        target = b.add_block("t")
+        b.br(target)
+        b.set_block(target)
+        b.ret()
+        state, _ = Interpreter(b.module).run_trace("f")
+        assert state.steps >= 2
+
+
+class TestFunctionAPI:
+    def test_entry_is_first_block(self):
+        fn = Function("f")
+        fn.add_block("a")
+        fn.add_block("b")
+        assert fn.entry.name == "a"
+
+    def test_entry_of_empty_function_raises(self):
+        with pytest.raises(ValueError):
+            Function("f").entry
+
+    def test_uids_monotone(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        i1 = fn.add_instr(blk, Const(Reg("a"), 1))
+        i2 = fn.add_instr(blk, Ret(None))
+        assert i2.uid == i1.uid + 1
+
+    def test_insert_at_index(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        fn.add_instr(blk, Ret(None))
+        fn.add_instr(blk, Const(Reg("a"), 1), index=0)
+        assert isinstance(blk.instrs[0], Const)
+
+    def test_find_instr(self):
+        fn = Function("f")
+        blk = fn.add_block("entry")
+        instr = fn.add_instr(blk, Ret(None))
+        found_blk, idx = fn.find_instr(instr.uid)
+        assert found_blk is blk and idx == 0
+
+    def test_find_missing_instr_raises(self):
+        fn = Function("f")
+        fn.add_block("entry")
+        with pytest.raises(KeyError):
+            fn.find_instr(999)
+
+    def test_instructions_iterates_in_layout_order(self):
+        fn = Function("f")
+        a = fn.add_block("a")
+        b = fn.add_block("b")
+        fn.add_instr(a, Const(Reg("x"), 1))
+        fn.add_instr(b, Ret(None))
+        pairs = list(fn.instructions())
+        assert [blk.name for blk, _ in pairs] == ["a", "b"]
+
+
+class TestModuleAPI:
+    def test_get_missing_function_raises(self):
+        with pytest.raises(KeyError, match="no function"):
+            Module("m").get("nope")
+
+    def test_ckpt_slots_stable(self):
+        m = Module("m")
+        s1 = m.ckpt_slot("f", Reg("x"))
+        s2 = m.ckpt_slot("f", Reg("x"))
+        s3 = m.ckpt_slot("f", Reg("y"))
+        assert s1 == s2 != s3
+
+    def test_ckpt_slots_per_function(self):
+        m = Module("m")
+        assert m.ckpt_slot("f", Reg("x")) != m.ckpt_slot("g", Reg("x"))

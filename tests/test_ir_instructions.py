@@ -1,0 +1,114 @@
+"""Tests for instruction classes: dest/uses/operands and validation."""
+
+import pytest
+
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Boundary,
+    Branch,
+    Call,
+    Checkpoint,
+    CondBranch,
+    Const,
+    Fence,
+    Load,
+    Output,
+    Ret,
+    Store,
+)
+from repro.ir.values import Imm, Reg
+
+
+class TestDestAndUses:
+    def test_const_defines(self):
+        i = Const(Reg("a"), 7)
+        assert i.dest() is Reg("a")
+        assert list(i.uses()) == []
+
+    def test_binop_uses_both_regs(self):
+        i = BinOp("add", Reg("d"), Reg("a"), Reg("b"))
+        assert set(i.uses()) == {Reg("a"), Reg("b")}
+
+    def test_binop_imm_operand_not_a_use(self):
+        i = BinOp("add", Reg("d"), Reg("a"), Imm(1))
+        assert set(i.uses()) == {Reg("a")}
+
+    def test_load_uses_address(self):
+        i = Load(Reg("d"), Reg("p"), 8)
+        assert list(i.uses()) == [Reg("p")]
+        assert i.dest() is Reg("d")
+
+    def test_store_has_no_dest(self):
+        i = Store(Reg("v"), Reg("p"))
+        assert i.dest() is None
+        assert set(i.uses()) == {Reg("v"), Reg("p")}
+
+    def test_call_uses_args(self):
+        i = Call(Reg("r"), "f", [Reg("a"), Imm(1), Reg("b")])
+        assert set(i.uses()) == {Reg("a"), Reg("b")}
+        assert i.dest() is Reg("r")
+
+    def test_void_call_dest_none(self):
+        assert Call(None, "f", []).dest() is None
+
+    def test_ret_value_use(self):
+        assert list(Ret(Reg("v")).uses()) == [Reg("v")]
+        assert list(Ret(None).uses()) == []
+
+    def test_checkpoint_uses_its_reg(self):
+        assert list(Checkpoint(Reg("r")).uses()) == [Reg("r")]
+
+    def test_atomic_uses(self):
+        i = AtomicRMW(Reg("old"), "add", Reg("p"), Reg("v"))
+        assert set(i.uses()) == {Reg("p"), Reg("v")}
+
+    def test_output_uses(self):
+        assert list(Output(Reg("v")).uses()) == [Reg("v")]
+
+    def test_condbranch_uses_cond(self):
+        i = CondBranch(Reg("c"), "a", "b")
+        assert list(i.uses()) == [Reg("c")]
+
+
+class TestValidation:
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("bogus", Reg("d"), Imm(1), Imm(2))
+
+    def test_alloca_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            Alloca(Reg("p"), 12)
+
+    def test_alloca_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Alloca(Reg("p"), 0)
+
+    def test_atomic_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            AtomicRMW(Reg("d"), "mul", Reg("p"), Imm(1))
+
+    def test_boundary_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Boundary("bogus")
+
+    def test_boundary_kinds_accepted(self):
+        for kind in Boundary.KINDS:
+            assert Boundary(kind).kind == kind
+
+
+class TestClassification:
+    def test_terminators(self):
+        assert Branch("x").is_terminator
+        assert CondBranch(Imm(1), "a", "b").is_terminator
+        assert Ret(None).is_terminator
+        assert not Store(Imm(1), Imm(8)).is_terminator
+
+    def test_memory_touching(self):
+        assert Load(Reg("d"), Reg("p")).touches_memory
+        assert Store(Imm(1), Reg("p")).touches_memory
+        assert Checkpoint(Reg("r")).touches_memory
+        assert Call(None, "f").touches_memory
+        assert not BinOp("add", Reg("d"), Imm(1), Imm(2)).touches_memory
+        assert not Fence().touches_memory

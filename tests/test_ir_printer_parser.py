@@ -1,0 +1,108 @@
+"""Printer/parser round-trips and parse errors."""
+
+import pytest
+
+from repro.ir.instructions import BinOp, Boundary, Checkpoint, Load, Store
+from repro.ir.interpreter import Interpreter
+from repro.ir.parser import ParseError, parse_module
+from repro.ir.printer import print_function, print_instr, print_module
+from repro.ir.values import Imm, Reg
+from tests.conftest import build_call_chain, build_rmw_loop, build_straightline
+
+
+class TestPrintInstr:
+    def test_binop(self):
+        assert print_instr(BinOp("add", Reg("d"), Reg("a"), Imm(3))) == "%d = add %a, 3"
+
+    def test_load_with_offset(self):
+        assert print_instr(Load(Reg("d"), Reg("p"), 16)) == "%d = load [%p+16]"
+
+    def test_load_negative_offset(self):
+        assert print_instr(Load(Reg("d"), Reg("p"), -8)) == "%d = load [%p-8]"
+
+    def test_store(self):
+        assert print_instr(Store(Imm(7), Reg("p"))) == "store 7, [%p]"
+
+    def test_boundary_and_ckpt(self):
+        assert print_instr(Boundary("loop")) == "boundary loop"
+        assert print_instr(Checkpoint(Reg("r3"))) == "ckpt %r3"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [build_rmw_loop, build_straightline, build_call_chain]
+    )
+    def test_module_roundtrips_and_runs_identically(self, factory):
+        module = factory()
+        reparsed = parse_module(print_module(module))
+        out1, _ = Interpreter(module).run_trace()
+        out2, _ = Interpreter(reparsed).run_trace()
+        assert out1.output == out2.output
+
+    def test_compiled_module_roundtrips(self):
+        from repro.compiler import compile_module
+
+        module = build_rmw_loop()
+        compile_module(module)
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+    def test_parse_atomic_and_fence(self):
+        text = """
+func @main() {
+entry:
+  %p = alloca 8
+  %old = atomic add, [%p], 3
+  fence
+  out %old
+  ret
+}
+"""
+        m = parse_module(text)
+        state, _ = Interpreter(m).run_trace()
+        assert state.output == [0]
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+# a comment
+func @main() {   # trailing
+entry:
+  %x = const 5  # five
+
+  out %x
+  ret
+}
+"""
+        m = parse_module(text)
+        state, _ = Interpreter(m).run_trace()
+        assert state.output == [5]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("ret", "outside function"),
+            ("func @f() {\n", "unterminated"),
+            ("}", "unmatched"),
+            ("func @f() {\nfunc @g() {\n}\n}", "nested"),
+            ("func @f() {\n  %x = frobnicate 1\n}", "unknown instruction"),
+            ("func @f() {\n  store 1\n}", "store needs"),
+            ("func @f() {\n  %x = load [oops]\n}", "bad memory operand"),
+            ("func @f(a) {\n}", "bad parameter"),
+            ("func @f() {\n  cbr %c, a\n}", "cbr needs"),
+            ("func @f() {\n  ckpt 5\n}", "register"),
+        ],
+    )
+    def test_errors(self, text, match):
+        with pytest.raises(ParseError, match=match):
+            parse_module(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_module("func @f() {\n  bogus\n}")
+        except ParseError as exc:
+            assert exc.lineno == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

@@ -1,0 +1,72 @@
+"""Tests for repro.ir.values: registers, immediates, 64-bit wrapping."""
+
+import pytest
+
+from repro.ir.values import Imm, Reg, as_operand, to_s64, to_u64
+
+
+class TestReg:
+    def test_interning_same_object(self):
+        assert Reg("x") is Reg("x")
+
+    def test_different_names_differ(self):
+        assert Reg("x") is not Reg("y")
+
+    def test_repr(self):
+        assert repr(Reg("abc")) == "%abc"
+
+    def test_usable_as_dict_key(self):
+        d = {Reg("a"): 1}
+        assert d[Reg("a")] == 1
+
+
+class TestImm:
+    def test_value_stored_signed(self):
+        assert Imm(5).value == 5
+        assert Imm(-5).value == -5
+
+    def test_wraps_to_64_bits(self):
+        assert Imm(1 << 64).value == 0
+        assert Imm((1 << 63)).value == -(1 << 63)
+
+    def test_equality(self):
+        assert Imm(3) == Imm(3)
+        assert Imm(3) != Imm(4)
+
+    def test_not_equal_to_reg(self):
+        assert Imm(3) != Reg("x")
+
+    def test_hashable(self):
+        assert len({Imm(1), Imm(1), Imm(2)}) == 2
+
+
+class TestWrapping:
+    def test_to_u64_masks(self):
+        assert to_u64(-1) == (1 << 64) - 1
+
+    def test_to_s64_positive(self):
+        assert to_s64(42) == 42
+
+    def test_to_s64_negative_roundtrip(self):
+        assert to_s64(to_u64(-7)) == -7
+
+    def test_to_s64_boundary(self):
+        assert to_s64((1 << 63) - 1) == (1 << 63) - 1
+        assert to_s64(1 << 63) == -(1 << 63)
+
+
+class TestAsOperand:
+    def test_int_becomes_imm(self):
+        op = as_operand(9)
+        assert isinstance(op, Imm) and op.value == 9
+
+    def test_reg_passthrough(self):
+        assert as_operand(Reg("q")) is Reg("q")
+
+    def test_imm_passthrough(self):
+        imm = Imm(1)
+        assert as_operand(imm) is imm
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_operand("nope")

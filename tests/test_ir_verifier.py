@@ -1,0 +1,92 @@
+"""Verifier: every structural violation class is caught."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Branch, Call, Const, Ret
+from repro.ir.values import Reg
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+
+def test_valid_function_passes(rmw_loop):
+    verify_module(rmw_loop)
+
+
+def test_empty_function_rejected():
+    fn = Function("f")
+    with pytest.raises(VerificationError, match="no blocks"):
+        verify_function(fn)
+
+
+def test_empty_block_rejected():
+    fn = Function("f")
+    fn.add_block("entry")
+    with pytest.raises(VerificationError, match="empty block"):
+        verify_function(fn)
+
+
+def test_missing_terminator_rejected():
+    fn = Function("f")
+    blk = fn.add_block("entry")
+    fn.add_instr(blk, Const(Reg("x"), 1))
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(fn)
+
+
+def test_branch_to_unknown_block_rejected():
+    fn = Function("f")
+    blk = fn.add_block("entry")
+    fn.add_instr(blk, Branch("nowhere"))
+    with pytest.raises(VerificationError, match="unknown block"):
+        verify_function(fn)
+
+
+def test_mid_block_terminator_rejected():
+    fn = Function("f")
+    blk = fn.add_block("entry")
+    fn.add_instr(blk, Ret(None))
+    fn.add_instr(blk, Ret(None))
+    with pytest.raises(VerificationError, match="mid-block"):
+        verify_function(fn)
+
+
+def test_unassigned_uid_rejected():
+    fn = Function("f")
+    blk = fn.add_block("entry")
+    blk.instrs.append(Ret(None))  # bypasses add_instr
+    with pytest.raises(VerificationError, match="without uid"):
+        verify_function(fn)
+
+
+def test_call_to_unknown_function_rejected():
+    module = Module("m")
+    b = IRBuilder(module)
+    b.function("main", [])
+    b.call("missing", [], void=True)
+    b.ret()
+    with pytest.raises(VerificationError, match="unknown @missing"):
+        verify_module(module)
+
+
+def test_call_to_intrinsic_allowed():
+    module = Module("m")
+    b = IRBuilder(module)
+    b.function("main", [])
+    b.call("sbrk", [8], void=True)
+    b.ret()
+    verify_module(module)
+
+
+def test_duplicate_block_name_rejected():
+    fn = Function("f")
+    fn.add_block("entry")
+    with pytest.raises(ValueError, match="duplicate block"):
+        fn.add_block("entry")
+
+
+def test_duplicate_function_rejected():
+    module = Module("m")
+    module.add_function(Function("f"))
+    with pytest.raises(ValueError, match="duplicate function"):
+        module.add_function(Function("f"))

@@ -1,0 +1,121 @@
+"""Validate kernel outputs against independent Python reference
+implementations (the kernels are real programs, not fixtures)."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.ir.interpreter import Interpreter
+from repro.recovery import check_crash_consistency
+from repro.workloads.programs import build_kernel
+
+
+def run(name):
+    module, entry, args = build_kernel(name)
+    state, _ = Interpreter(module).run_trace(entry, args)
+    return state.output
+
+
+class TestReferenceOutputs:
+    def test_counter_reference(self):
+        # a[i & 7] += i for i in range(20); output = sum(a)
+        a = [0] * 8
+        for i in range(20):
+            a[i & 7] += i
+        assert run("counter") == [sum(a)]
+
+    def test_linked_list_reference(self):
+        # push i*i for i in range(10); sum the list
+        assert run("linked_list") == [sum(i * i for i in range(10))]
+
+    def test_hashmap_reference(self):
+        # put (100+i -> 7i), get them all back
+        assert run("hashmap") == [sum(7 * i for i in range(12))]
+
+    def test_bst_reference(self):
+        # sum of the inserted pseudo-random keys
+        seed, total = 1, 0
+        for _ in range(10):
+            seed = (seed * 1103515245 + 12345) & 0x7FFF
+            total += seed
+        assert run("bst") == [total]
+
+    def test_kmeans_reference(self):
+        pts = [(i * 37) % 100 for i in range(16)]
+        c0, c1 = 10, 80
+        for _ in range(3):
+            s0, n0, s1, n1 = 0, 1, 0, 1
+            for x in pts:
+                if (x - c0) ** 2 <= (x - c1) ** 2:
+                    s0, n0 = s0 + x, n0 + 1
+                else:
+                    s1, n1 = s1 + x, n1 + 1
+            c0, c1 = int(s0 / n0), int(s1 / n1)
+        assert run("kmeans") == [c0, c1]
+
+    def test_matmul_reference(self):
+        dim = 4
+        a = [[r * dim + k + 1 for k in range(dim)] for r in range(dim)]
+        bm = [[(r * dim + k) * 2 for k in range(dim)] for r in range(dim)]
+        corner = sum(a[dim - 1][k] * bm[k][dim - 1] for k in range(dim))
+        assert run("matmul") == [corner]
+
+    def test_sort_reference(self):
+        vals = [((i * 1103515245 + 12345) & 0xFF) for i in range(12)]
+        ordered = sorted(vals)
+        checksum = sum(v * (i + 1) for i, v in enumerate(ordered))
+        assert run("sort") == [checksum]
+
+    def test_ringbuffer_reference(self):
+        # push 3i then immediately pop: FIFO returns 3i each time
+        assert run("ringbuffer") == [sum(3 * i for i in range(20))]
+
+    def test_fib_reference(self):
+        a, b = 0, 1
+        for _ in range(30):
+            a, b = b, a + b
+        assert run("fib") == [a]
+
+    def test_histogram_reference(self):
+        seed, hist = 7, [0] * 8
+        for _ in range(40):
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+            hist[seed % 8] += 1
+        checksum = sum(h * (k + 1) for k, h in enumerate(hist))
+        assert run("histogram") == [checksum]
+
+    def test_stack_machine_reference(self):
+        assert run("stack_machine") == [sum(i * i for i in range(12))]
+
+    def test_bfs_reference(self):
+        n = 8
+        adj = {i: [(i + 1) % n, (i + 3) % n] for i in range(n)}
+        dist = {0: 0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in adj[u]:
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        checksum = sum(k * (dist[k] + 1) for k in range(n))
+        assert run("bfs") == [checksum]
+
+    def test_syscall_echo_reference(self):
+        # reads 5i+1 for i<6, writes doubles, accumulates the doubles
+        assert run("syscall_echo") == [sum(2 * (5 * i + 1) for i in range(6))]
+
+
+class TestNewKernelsCrashConsistency:
+    @pytest.mark.parametrize(
+        "name", ["ringbuffer", "bfs", "fib", "histogram", "stack_machine"]
+    )
+    def test_compiled_and_recoverable(self, name):
+        module, entry, args = build_kernel(name)
+        ref, _ = Interpreter(module).run_trace(entry, args)
+        compile_module(module)
+        got, _ = Interpreter(module, spill_args=True).run_trace(entry, args)
+        assert got.output == ref.output
+        report = check_crash_consistency(module, entry, args, stride=37)
+        assert report.ok, (name, report.divergences[:3])

@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The headline property mirrors the whole system's contract: for *any*
+generated program, the cWSP-compiled version computes the same result
+as the original, its regions are WAR-free and replayable, and a power
+failure at any point recovers to the failure-free outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch.queues import CompletionQueue
+from repro.compiler import (
+    check_idempotence_static,
+    check_regions_replayable,
+    compile_module,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.interpreter import Interpreter, Memory, eval_binop
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.values import Reg, to_s64
+from repro.recovery import PersistenceConfig, check_crash_consistency
+
+# ----------------------------------------------------------------------
+# eval_binop matches a Python reference model
+# ----------------------------------------------------------------------
+
+_REF = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+i64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+@given(op=st.sampled_from(sorted(_REF)), a=i64, b=i64)
+def test_binop_matches_wrapped_python(op, a, b):
+    assert eval_binop(op, a, b) == to_s64(_REF[op](a, b))
+
+
+@given(a=i64, b=i64)
+def test_sdiv_srem_identity(a, b):
+    if b == 0:
+        return
+    q = eval_binop("sdiv", a, b)
+    r = eval_binop("srem", a, b)
+    assert to_s64(q * b + r) == to_s64(a)
+
+
+@given(a=i64, s=st.integers(min_value=0, max_value=63))
+def test_shift_roundtrip_high_bits(a, s):
+    shifted = eval_binop("shl", a, s)
+    back = eval_binop("lshr", shifted, s)
+    mask = (1 << (64 - s)) - 1
+    assert back & mask == (a & mask)
+
+
+@given(a=i64, b=i64)
+def test_comparisons_total_order(a, b):
+    assert eval_binop("slt", a, b) + eval_binop("sge", a, b) == 1
+    assert eval_binop("eq", a, b) + eval_binop("ne", a, b) == 1
+
+
+@given(x=st.integers())
+def test_to_s64_is_idempotent(x):
+    assert to_s64(to_s64(x)) == to_s64(x)
+
+
+# ----------------------------------------------------------------------
+# Memory behaves like a word-addressed dict
+# ----------------------------------------------------------------------
+
+addr_strategy = st.integers(min_value=1, max_value=1 << 20).map(lambda x: x * 8)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(addr_strategy, i64),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_memory_matches_dict_model(ops):
+    mem = Memory()
+    model = {}
+    for addr, value in ops:
+        mem.store(addr, value)
+        model[addr] = value
+    for addr, value in model.items():
+        assert mem.load(addr) == value
+
+
+# ----------------------------------------------------------------------
+# CompletionQueue: occupancy integral and FIFO completion
+# ----------------------------------------------------------------------
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_completion_queue_fifo_and_drains(times):
+    q = CompletionQueue(capacity=1000)
+    for t in times:
+        q.push(t)
+    completions = list(q.entries)
+    assert completions == sorted(completions)  # FIFO completion order
+    q.advance(2000.0)
+    assert q.occupancy() == 0
+    assert q.occ_integral >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Random-program pipeline property
+# ----------------------------------------------------------------------
+
+REGS = [Reg("r0"), Reg("r1"), Reg("r2"), Reg("r3")]
+BASE = 0x0800_0000
+WORDS = 6
+
+op_strategy = st.one_of(
+    st.tuples(st.just("const"), st.integers(0, 3), st.integers(-100, 100)),
+    st.tuples(
+        st.just("bin"),
+        st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.integers(0, 3),
+    ),
+    st.tuples(st.just("load"), st.integers(0, 3), st.integers(0, WORDS - 1)),
+    st.tuples(st.just("store"), st.integers(0, 3), st.integers(0, WORDS - 1)),
+    st.tuples(st.just("out"), st.integers(0, 3)),
+)
+
+program_strategy = st.tuples(
+    st.lists(op_strategy, min_size=3, max_size=14),  # loop body
+    st.lists(op_strategy, min_size=0, max_size=6),  # epilogue
+    st.integers(min_value=1, max_value=4),  # trip count
+)
+
+
+def build_program(spec) -> Module:
+    body, epilogue, trips = spec
+    b = IRBuilder(Module("prop"))
+    b.function("main", [])
+    for r in REGS:
+        b.const(1, r)
+    b.const(0, Reg("i"))
+    loop = b.add_block("loop")
+    blk_body = b.add_block("body")
+    after = b.add_block("after")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), trips)
+    b.cbr(c, blk_body, after)
+    b.set_block(blk_body)
+    _emit_ops(b, body)
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(after)
+    _emit_ops(b, epilogue)
+    for r in REGS:
+        b.out(r)
+    for w in range(WORDS):
+        b.out(b.load(BASE + w * 8))
+    b.ret()
+    return b.module
+
+
+def _emit_ops(b: IRBuilder, ops) -> None:
+    for op in ops:
+        kind = op[0]
+        if kind == "const":
+            b.const(op[2], REGS[op[1]])
+        elif kind == "bin":
+            b.binop(op[1], REGS[op[3]], REGS[op[4]], REGS[op[2]])
+        elif kind == "load":
+            b.load(BASE + op[2] * 8, rd=REGS[op[1]])
+        elif kind == "store":
+            b.store(REGS[op[1]], BASE + op[2] * 8)
+        elif kind == "out":
+            b.out(REGS[op[1]])
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=program_strategy)
+def test_compiled_program_equivalent_and_idempotent(spec):
+    module = build_program(spec)
+    ref, _ = Interpreter(module).run_trace()
+
+    compiled = build_program(spec)
+    compile_module(compiled)
+    check_idempotence_static(compiled)
+    got, _ = Interpreter(compiled, spill_args=True).run_trace()
+    assert got.output == ref.output
+
+    check_regions_replayable(compiled)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=program_strategy, drain=st.sampled_from([0.1, 0.7, 3.0]))
+def test_any_power_failure_recovers(spec, drain):
+    module = build_program(spec)
+    compile_module(module)
+    config = PersistenceConfig(drain_per_step=drain, mc_skew=(0, 3))
+    report = check_crash_consistency(module, stride=9, config=config)
+    assert report.ok, report.divergences[:2]
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=program_strategy)
+def test_printer_parser_roundtrip_random_programs(spec):
+    module = build_program(spec)
+    text = print_module(module)
+    assert print_module(parse_module(text)) == text

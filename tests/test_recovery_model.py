@@ -1,0 +1,152 @@
+"""Functional persistence model: regions, logs, revert, output release."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.interpreter import Interpreter, TraceEvent
+from repro.ir.values import Reg
+from repro.recovery.model import FunctionalPersistence, PersistenceConfig
+from tests.conftest import build_rmw_loop
+
+
+def drive(module, config=None, entry="main", args=()):
+    model = FunctionalPersistence(module, config)
+    interp = Interpreter(module, spill_args=True)
+    state = interp.run(entry, args, on_event=model.on_event, on_boundary=model.on_boundary)
+    return model, state
+
+
+class TestLifecycle:
+    def test_all_regions_retire_after_finish(self, rmw_loop):
+        compile_module(rmw_loop)
+        model, _ = drive(rmw_loop)
+        model.finish()
+        assert not model.rbt
+        assert not model.pb
+        assert all(not q for q in model.mc_queues)
+
+    def test_nvm_matches_architectural_memory_after_finish(self, rmw_loop):
+        compile_module(rmw_loop)
+        model, state = drive(rmw_loop)
+        model.finish()
+        for addr, value in state.memory.words.items():
+            assert model.nvm.get(addr, 0) == value
+
+    def test_outputs_released_in_order(self, rmw_loop):
+        compile_module(rmw_loop)
+        model, state = drive(rmw_loop)
+        model.finish()
+        assert model.released_output == state.output
+
+    def test_snapshots_cover_executed_boundaries(self, rmw_loop):
+        compile_module(rmw_loop)
+        model, _ = drive(rmw_loop)
+        # every opened region beyond the pre-entry one has a snapshot
+        executed = model._seq - 1
+        assert len(model.snapshots) == executed
+
+    def test_recovery_ptr_advances_monotonically(self, rmw_loop):
+        compile_module(rmw_loop)
+        model = FunctionalPersistence(rmw_loop)
+        interp = Interpreter(rmw_loop, spill_args=True)
+        seqs = []
+
+        def watch(ev):
+            model.on_event(ev)
+            if model.recovery_ptr is not None:
+                seqs.append(model.recovery_ptr[2])
+
+        interp.run("main", (), on_event=watch, on_boundary=model.on_boundary)
+        assert seqs == sorted(seqs)
+
+    def test_mc_bitvec_tracks_targets(self, rmw_loop):
+        compile_module(rmw_loop)
+        model, _ = drive(rmw_loop)
+        assert any(rec.mc_bitvec for rec in model.regions.values()) or model._seq > 1
+
+
+class TestBackpressure:
+    def test_small_rbt_forces_drains(self, rmw_loop):
+        compile_module(rmw_loop)
+        cfg = PersistenceConfig(rbt_size=2, drain_per_step=0.05)
+        model, _ = drive(rmw_loop, cfg)
+        assert model.rbt_forced_drains > 0
+        assert model.max_rbt_occupancy <= 2
+
+    def test_small_pb_forces_drains(self, rmw_loop):
+        compile_module(rmw_loop)
+        cfg = PersistenceConfig(pb_size=2, drain_per_step=0.01)
+        model, _ = drive(rmw_loop, cfg)
+        assert model.pb_forced_drains > 0
+
+    def test_pb_occupancy_bounded(self, rmw_loop):
+        compile_module(rmw_loop)
+        cfg = PersistenceConfig(pb_size=4, drain_per_step=0.01)
+        model, _ = drive(rmw_loop, cfg)
+        assert model.max_pb_occupancy <= 4
+
+
+class TestUndoLogs:
+    def test_speculative_stores_logged(self, rmw_loop):
+        compile_module(rmw_loop)
+        cfg = PersistenceConfig(drain_per_step=5.0)  # drain fast: logs exercised
+        model, _ = drive(rmw_loop, cfg)
+        assert model.logged_stores > 0
+
+    def test_failure_image_reverts_speculative_updates(self):
+        # Hand-drive the model: region A stores 1; speculative region B
+        # overwrites with 2; failure must revert to 1.
+        module = Module("m")
+        model = FunctionalPersistence(module, PersistenceConfig(drain_per_step=0.0))
+        addr = 0x1000
+        model.on_event(TraceEvent("boundary", uid=1, func="f"))
+        model.on_event(TraceEvent("store", addr, 1, 10, "f"))
+        model.on_event(TraceEvent("boundary", uid=2, func="f"))
+        model.on_event(TraceEvent("store", addr, 2, 11, "f"))
+        model.drain_all()
+        assert model.nvm[addr] == 2
+        image = model.failure_image()
+        # region 1 (the store of 1) is the oldest unpersisted-or-head;
+        # region 2's store was speculative at commit -> reverted
+        assert image[addr] in (0, 1)
+        assert image[addr] != 2 or model.recovery_ptr is None
+
+    def test_log_overwrite_avoided_by_append_only(self):
+        """Figure 10(c): two speculative stores to one address revert
+        correctly because logs append rather than overwrite."""
+        module = Module("m")
+        model = FunctionalPersistence(module, PersistenceConfig(drain_per_step=0.0))
+        addr = 0x2000
+        model.on_event(TraceEvent("boundary", uid=1, func="f"))  # Rg0 (head-ish)
+        model.on_event(TraceEvent("boundary", uid=2, func="f"))  # Rg1
+        model.on_event(TraceEvent("store", addr, 100, 20, "f"))
+        model.on_event(TraceEvent("boundary", uid=3, func="f"))  # Rg2
+        model.on_event(TraceEvent("store", addr, 200, 21, "f"))
+        model.drain_all()
+        assert model.nvm[addr] == 200
+        image = model.failure_image()
+        # After draining, the recovery point sits at the last region
+        # whose store (200) is still speculative; reverting its
+        # append-only log restores the *previous* region's 100 -- not a
+        # value clobbered into a shared log slot (the Figure 10(c) bug).
+        assert model.recovery_ptr is not None
+        assert image[addr] == 100
+
+    def test_retired_region_logs_deallocated(self, rmw_loop):
+        compile_module(rmw_loop)
+        model, _ = drive(rmw_loop)
+        model.finish()
+        live_seqs = set(model.regions)
+        assert set(model.logs) <= live_seqs | {model._seq - 1}
+
+
+class TestNUMAReordering:
+    def test_skewed_mcs_still_consistent(self, rmw_loop):
+        compile_module(rmw_loop)
+        cfg = PersistenceConfig(mc_count=2, mc_skew=(0, 7), drain_per_step=0.3)
+        model, state = drive(rmw_loop, cfg)
+        model.finish()
+        for addr, value in state.memory.words.items():
+            assert model.nvm.get(addr, 0) == value

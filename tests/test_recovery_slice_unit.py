@@ -1,0 +1,74 @@
+"""RecoverySlice unit tests: op execution, failure modes."""
+
+import pytest
+
+from repro.compiler.recovery_slice import RecoverySlice
+from repro.ir.function import Module
+from repro.ir.interpreter import CKPT_BASE, Memory
+from repro.ir.values import Imm, Reg
+
+
+@pytest.fixture
+def module():
+    m = Module("m")
+    m.ckpt_slot("f", Reg("a"))  # slot 0
+    m.ckpt_slot("f", Reg("b"))  # slot 1
+    return m
+
+
+def mem_with(slots):
+    mem = Memory()
+    for slot, value in slots.items():
+        mem.store(CKPT_BASE + slot * 8, value)
+    return mem
+
+
+class TestExecute:
+    def test_restore_from_slot(self, module):
+        rs = RecoverySlice("f", 1, (Reg("a"),), [("restore", Reg("a"))])
+        regs = rs.execute(module, mem_with({0: 42}))
+        assert regs == {Reg("a"): 42}
+
+    def test_const_rematerialization(self, module):
+        rs = RecoverySlice("f", 1, (Reg("a"),), [("const", Reg("a"), -7)])
+        assert rs.execute(module, Memory())[Reg("a")] == -7
+
+    def test_binop_over_restored_and_imm(self, module):
+        rs = RecoverySlice(
+            "f",
+            1,
+            (Reg("b"),),
+            [("restore", Reg("a")), ("binop", "shl", Reg("b"), Reg("a"), Imm(2))],
+        )
+        regs = rs.execute(module, mem_with({0: 3}))
+        assert regs[Reg("b")] == 12
+
+    def test_only_live_ins_returned(self, module):
+        rs = RecoverySlice(
+            "f",
+            1,
+            (Reg("b"),),
+            [("restore", Reg("a")), ("binop", "add", Reg("b"), Reg("a"), Imm(1))],
+        )
+        regs = rs.execute(module, mem_with({0: 1}))
+        assert set(regs) == {Reg("b")}
+
+    def test_missing_slot_raises(self, module):
+        rs = RecoverySlice("f", 1, (Reg("zz"),), [("restore", Reg("zz"))])
+        with pytest.raises(KeyError, match="no checkpoint slot"):
+            rs.execute(module, Memory())
+
+    def test_unrestored_live_in_raises(self, module):
+        rs = RecoverySlice("f", 1, (Reg("a"),), [])
+        with pytest.raises(RuntimeError, match="did not restore"):
+            rs.execute(module, Memory())
+
+    def test_counts(self, module):
+        rs = RecoverySlice(
+            "f",
+            1,
+            (Reg("b"),),
+            [("restore", Reg("a")), ("binop", "add", Reg("b"), Reg("a"), Imm(1))],
+        )
+        assert len(rs) == 2
+        assert rs.restore_count() == 1

@@ -1,0 +1,215 @@
+"""IR libc and syscall-layer tests: functional, compiled, recoverable."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.interpreter import Interpreter
+from repro.ir.values import Reg
+from repro.recovery import check_crash_consistency
+from repro.runtime.libc import BRK_VAR, HEAP_START, add_libc
+from repro.runtime.syscalls import KIN_QUEUE, PID, add_syscall_layer
+
+
+def run_main(module, build, compiled=False, args=()):
+    b = IRBuilder(module)
+    b.function("main", [])
+    build(b)
+    if compiled:
+        compile_module(module)
+    state, _ = Interpreter(module, spill_args=compiled).run_trace("main", args)
+    return state
+
+
+class TestLibc:
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_sbrk_sequence(self, compiled):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            p1 = b.call("sbrk", [16], rd=Reg("p1"))
+            p2 = b.call("sbrk", [24], rd=Reg("p2"))
+            b.out(Reg("p1"))
+            b.out(b.sub(Reg("p2"), Reg("p1")))
+            b.ret()
+
+        state = run_main(module, build, compiled)
+        assert state.output == [HEAP_START, 16]
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_malloc_distinct_blocks(self, compiled):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            p1 = b.call("malloc", [32], rd=Reg("p1"))
+            p2 = b.call("malloc", [32], rd=Reg("p2"))
+            b.store(1, Reg("p1"))
+            b.store(2, Reg("p2"))
+            b.out(b.load(Reg("p1")))
+            b.out(b.load(Reg("p2")))
+            b.ret()
+
+        state = run_main(module, build, compiled)
+        assert state.output == [1, 2]
+
+    def test_free_then_malloc_reuses_block(self):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            p1 = b.call("malloc", [32], rd=Reg("p1"))
+            b.call("free", [Reg("p1"), 32], void=True)
+            p2 = b.call("malloc", [32], rd=Reg("p2"))
+            same = b.cmp("eq", Reg("p1"), Reg("p2"))
+            b.out(same)
+            b.ret()
+
+        assert run_main(module, build).output == [1]
+
+    def test_free_list_is_per_size_class(self):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            p1 = b.call("malloc", [16], rd=Reg("p1"))
+            b.call("free", [Reg("p1"), 16], void=True)
+            p2 = b.call("malloc", [64], rd=Reg("p2"))  # different class
+            same = b.cmp("eq", Reg("p1"), Reg("p2"))
+            b.out(same)
+            b.ret()
+
+        assert run_main(module, build).output == [0]
+
+    def test_malloc_min_size(self):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            p1 = b.call("malloc", [1], rd=Reg("p1"))
+            p2 = b.call("malloc", [1], rd=Reg("p2"))
+            b.out(b.sub(Reg("p2"), Reg("p1")))
+            b.ret()
+
+        assert run_main(module, build).output == [8]
+
+    def test_memcpy(self):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            src = b.call("malloc", [24], rd=Reg("src"))
+            dst = b.call("malloc", [24], rd=Reg("dst"))
+            b.store(11, Reg("src"), 0)
+            b.store(22, Reg("src"), 8)
+            b.store(33, Reg("src"), 16)
+            b.call("memcpy", [Reg("dst"), Reg("src"), 3], void=True)
+            b.out(b.load(Reg("dst"), 0))
+            b.out(b.load(Reg("dst"), 8))
+            b.out(b.load(Reg("dst"), 16))
+            b.ret()
+
+        assert run_main(module, build).output == [11, 22, 33]
+
+    def test_memset_and_calloc(self):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            p = b.call("malloc", [16], rd=Reg("p"))
+            b.store(99, Reg("p"))
+            b.call("free", [Reg("p"), 16], void=True)
+            q = b.call("calloc", [16], rd=Reg("q"))  # reuses p, zeroed
+            b.out(b.load(Reg("q")))
+            b.ret()
+
+        assert run_main(module, build).output == [0]
+
+    def test_brk_state_lives_in_nvm(self):
+        module = add_libc(Module("m"))
+
+        def build(b):
+            b.call("sbrk", [8], void=True)
+            brk = b.load(b.const(BRK_VAR))
+            b.out(brk)
+            b.ret()
+
+        assert run_main(module, build).output == [HEAP_START + 8]
+
+    def test_allocator_crash_consistent(self):
+        module = add_libc(Module("m"))
+        b = IRBuilder(module)
+        b.function("main", [])
+        p1 = b.call("malloc", [16], rd=Reg("p1"))
+        b.store(7, Reg("p1"))
+        b.call("free", [Reg("p1"), 16], void=True)
+        p2 = b.call("malloc", [16], rd=Reg("p2"))
+        b.store(9, Reg("p2"))
+        b.out(b.load(Reg("p2")))
+        b.ret()
+        compile_module(module)
+        report = check_crash_consistency(module, stride=5)
+        assert report.ok, report.divergences[:3]
+
+
+class TestSyscalls:
+    def build_echo(self):
+        module = add_syscall_layer(Module("m"))
+        b = IRBuilder(module)
+        b.function("main", [])
+        kin = b.const(KIN_QUEUE, Reg("kin"))
+        b.store(77, Reg("kin"), 16)  # slot 0
+        b.store(1, Reg("kin"), 8)    # tail = 1
+        got = b.call("entry_syscall", [0, 0], rd=Reg("got"))
+        b.out(Reg("got"))
+        n = b.call("entry_syscall", [1, 123], rd=Reg("n"))
+        b.out(Reg("n"))
+        pid = b.call("entry_syscall", [39, 0], rd=Reg("pid"))
+        b.out(Reg("pid"))
+        bad = b.call("entry_syscall", [99, 0], rd=Reg("bad"))
+        b.out(Reg("bad"))
+        b.ret()
+        return module
+
+    def test_dispatch_semantics(self):
+        module = self.build_echo()
+        state, _ = Interpreter(module).run_trace()
+        assert state.output == [77, 1, PID, -38]
+
+    def test_compiled_dispatch_identical(self):
+        module = self.build_echo()
+        compile_module(module)
+        state, _ = Interpreter(module, spill_args=True).run_trace()
+        assert state.output == [77, 1, PID, -38]
+
+    def test_entry_has_manual_boundaries(self):
+        from repro.ir.instructions import Boundary
+
+        module = add_syscall_layer(Module("m"))
+        entry = module.get("entry_syscall")
+        manual = [
+            i for _, i in entry.instructions()
+            if isinstance(i, Boundary) and i.kind == "manual"
+        ]
+        assert len(manual) == 3  # entry, pre-dispatch, exit (Figure 11)
+
+    def test_read_empty_queue_returns_minus_one(self):
+        module = add_syscall_layer(Module("m"))
+        b = IRBuilder(module)
+        b.function("main", [])
+        got = b.call("entry_syscall", [0, 0], rd=Reg("got"))
+        b.out(Reg("got"))
+        b.ret()
+        state, _ = Interpreter(module).run_trace()
+        assert state.output == [-1]
+
+    def test_sys_brk_routes_to_sbrk(self):
+        module = add_syscall_layer(Module("m"))
+        b = IRBuilder(module)
+        b.function("main", [])
+        p = b.call("entry_syscall", [12, 16], rd=Reg("p"))
+        b.out(Reg("p"))
+        b.ret()
+        state, _ = Interpreter(module).run_trace()
+        assert state.output == [HEAP_START]
+
+    def test_syscall_path_crash_consistent(self):
+        module = self.build_echo()
+        compile_module(module)
+        report = check_crash_consistency(module, stride=9)
+        assert report.ok, report.divergences[:3]

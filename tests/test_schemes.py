@@ -1,0 +1,95 @@
+"""Scheme catalog facts and the ablation ladder structure."""
+
+from repro.schemes import (
+    ablation_ladder,
+    baseline,
+    capri,
+    cwsp,
+    ido,
+    psp_ideal,
+    replaycache,
+)
+
+
+class TestCatalog:
+    def test_baseline_has_no_persistence(self):
+        s = baseline()
+        assert not s.persist_stores
+        assert s.dram_cache_enabled
+
+    def test_cwsp_eight_byte_granularity(self):
+        s = cwsp()
+        assert s.persist_bytes == 8
+        assert s.mc_speculation
+        assert not s.stall_at_boundary
+        assert s.wb_delay and s.wpq_load_delay
+
+    def test_cwsp_without_speculation_stalls(self):
+        s = cwsp(mc_speculation=False)
+        assert s.stall_at_boundary
+
+    def test_capri_cacheline_granularity(self):
+        s = capri()
+        assert s.persist_bytes == 64
+        assert s.coalesce_lines
+        assert not s.stall_at_boundary  # battery-backed redo buffer
+        assert s.pb_entries_override == 288  # 18KB / 64B
+
+    def test_capri_path_demand_is_8x_cwsp(self):
+        assert capri().persist_bytes == 8 * cwsp().persist_bytes
+
+    def test_replaycache_is_software_heavy(self):
+        s = replaycache()
+        assert s.extra_insts_per_store > 0
+        assert s.stall_at_boundary
+
+    def test_ido_uses_persist_barriers(self):
+        s = ido()
+        assert s.stall_at_boundary
+        assert not s.mc_speculation
+
+    def test_psp_disables_dram_cache(self):
+        s = psp_ideal()
+        assert not s.dram_cache_enabled
+        assert not s.persist_stores
+
+
+class TestAblationLadder:
+    def test_six_stages(self):
+        assert len(ablation_ladder()) == 6
+
+    def test_stage_names(self):
+        names = [name for name, _, _ in ablation_ladder()]
+        assert names == [
+            "+Region Formation",
+            "+Persist Path",
+            "+MC Speculation",
+            "+WB Delaying",
+            "+WPQ Delaying",
+            "+Pruning (cWSP)",
+        ]
+
+    def test_cumulative_feature_enablement(self):
+        ladder = {name: s for name, s, _ in ablation_ladder()}
+        assert not ladder["+Region Formation"].persist_stores
+        assert ladder["+Persist Path"].persist_stores
+        assert not ladder["+Persist Path"].mc_speculation
+        assert ladder["+MC Speculation"].mc_speculation
+        assert not ladder["+MC Speculation"].wb_delay
+        assert ladder["+WB Delaying"].wb_delay
+        assert not ladder["+WB Delaying"].wpq_load_delay
+        assert ladder["+WPQ Delaying"].wpq_load_delay
+
+    def test_only_final_stage_uses_pruned_traces(self):
+        ladder = ablation_ladder()
+        for name, _, tk in ladder[:-1]:
+            assert tk["ckpts"] == "unpruned", name
+        assert ladder[-1][2]["ckpts"] == "pruned"
+
+    def test_final_stage_is_full_cwsp(self):
+        final = ablation_ladder()[-1][1]
+        full = cwsp()
+        assert final.persist_stores == full.persist_stores
+        assert final.mc_speculation == full.mc_speculation
+        assert final.wb_delay == full.wb_delay
+        assert final.wpq_load_delay == full.wpq_load_delay
