@@ -10,7 +10,7 @@ every cycle.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, List, Optional
 
 
 class CompletionQueue:
@@ -67,3 +67,79 @@ class CompletionQueue:
     def mean_occupancy(self, now: float) -> float:
         self.advance(now)
         return self.occ_integral / now if now > 0 else 0.0
+
+
+class OccupancyProbe:
+    """Tagged occupancy series with extreme-point queries.
+
+    Records ``(tag, occupancy)`` samples for one queue -- the tag is
+    whatever index the caller sweeps over (committed-event number,
+    cycle, drain opportunity) -- and answers "where were the
+    interesting states?": maxima, minima, and threshold crossings.  The
+    fault-injection campaign uses it to aim power cuts at PB/RBT
+    occupancy extremes instead of fixed strides; it is equally usable
+    against :class:`CompletionQueue` traces in the timing simulator.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: list = []  # (tag, occupancy)
+
+    def sample(self, tag: int, occupancy: int) -> None:
+        self.samples.append((tag, occupancy))
+
+    def max_occupancy(self) -> int:
+        return max((occ for _, occ in self.samples), default=0)
+
+    def argmax(self) -> Optional[int]:
+        """Tag of the first sample reaching the maximum occupancy."""
+        best: Optional[int] = None
+        best_occ = -1
+        for tag, occ in self.samples:
+            if occ > best_occ:
+                best, best_occ = tag, occ
+        return best
+
+    def argmin(self) -> Optional[int]:
+        """Tag of the first sample at the minimum occupancy."""
+        best: Optional[int] = None
+        best_occ: Optional[int] = None
+        for tag, occ in self.samples:
+            if best_occ is None or occ < best_occ:
+                best, best_occ = tag, occ
+        return best
+
+    def first_reaching(self, threshold: int) -> Optional[int]:
+        """Tag of the first sample with occupancy >= *threshold*."""
+        for tag, occ in self.samples:
+            if occ >= threshold:
+                return tag
+        return None
+
+    def crossings(self, threshold: int) -> List[int]:
+        """Tags where occupancy first rises to >= *threshold* after
+        having been below it (boundary states: fill-up edges)."""
+        tags: List[int] = []
+        below = True
+        for tag, occ in self.samples:
+            if occ >= threshold and below:
+                tags.append(tag)
+                below = False
+            elif occ < threshold:
+                below = True
+        return tags
+
+    def extreme_tags(self, capacity: Optional[int] = None) -> List[int]:
+        """Deduplicated interesting tags: max, min, full/near-full edges."""
+        tags = [self.argmax(), self.argmin()]
+        if capacity is not None:
+            tags.append(self.first_reaching(capacity))
+            tags.extend(self.crossings(max(1, capacity - 1))[:4])
+        seen = set()
+        out: List[int] = []
+        for t in tags:
+            if t is not None and t not in seen:
+                seen.add(t)
+                out.append(t)
+        return out

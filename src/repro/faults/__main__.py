@@ -1,0 +1,117 @@
+"""``python -m repro.faults`` — the adversarial fault-injection CLI.
+
+Campaign mode (default) sweeps fault schedules over the compiled IR
+kernels and fails (exit 1) on any silent divergence; ``repro`` mode
+replays one serialized schedule, which is how every divergence artifact
+is reproduced.
+
+Examples::
+
+    python -m repro.faults --smoke
+    python -m repro.faults --kernels counter,sort --strategies nested,torn --k 3
+    python -m repro.faults repro --kernel counter --schedule '{"cuts": [57, 4]}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.faults.campaign import (
+    STRATEGIES,
+    CampaignSpec,
+    run_campaign,
+    run_trial,
+    smoke_spec,
+    write_artifact,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.harness.report import campaign_result
+from repro.workloads.programs import KERNELS
+
+
+def _csv(text: str) -> List[str]:
+    return [item for item in text.split(",") if item]
+
+
+def _campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernels", type=_csv, default=list(KERNELS),
+                        help="comma-separated kernel names (default: all)")
+    parser.add_argument("--strategies", type=_csv, default=list(STRATEGIES),
+                        help=f"comma-separated from {','.join(STRATEGIES)}")
+    parser.add_argument("--seed", type=int, default=1, help="campaign RNG seed")
+    parser.add_argument("--k", type=int, default=2, help="nested-crash depth")
+    parser.add_argument("--stride", type=int, default=7, help="primary-cut stride")
+    parser.add_argument("--stride2", type=int, default=5, help="nested-offset stride")
+    parser.add_argument("--torn-stride", type=int, default=7)
+    parser.add_argument("--corruption-trials", type=int, default=40)
+    parser.add_argument("--random-trials", type=int, default=30)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--out", default=None, help="write JSON artifact here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast seeded CI campaign (~30s) over quick kernels")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "repro":
+        parser = argparse.ArgumentParser(prog="repro.faults repro")
+        parser.add_argument("--kernel", required=True, choices=list(KERNELS))
+        parser.add_argument("--schedule", required=True,
+                            help="JSON FaultSchedule, as emitted in artifacts")
+        opts = parser.parse_args(argv[1:])
+        try:
+            schedule = FaultSchedule.from_json(opts.schedule)
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            parser.error(f"bad --schedule JSON: {exc}")
+        record = run_trial(opts.kernel, schedule)
+        print(f"{record.status.upper()}: {opts.kernel} {schedule.describe()}")
+        if record.detail:
+            print(f"  {record.detail}")
+        return 1 if record.is_failure else 0
+
+    parser = argparse.ArgumentParser(prog="repro.faults", description=__doc__)
+    _campaign_args(parser)
+    opts = parser.parse_args(argv)
+    bad = [k for k in opts.kernels if k not in KERNELS]
+    if bad:
+        parser.error(f"unknown kernels {bad}; choose from {','.join(KERNELS)}")
+    bad = [s for s in opts.strategies if s not in STRATEGIES]
+    if bad:
+        parser.error(f"unknown strategies {bad}; choose from {','.join(STRATEGIES)}")
+    if opts.smoke:
+        spec = smoke_spec(seed=opts.seed)
+        jobs = max(opts.jobs, 2)
+    else:
+        spec = CampaignSpec(
+            kernels=opts.kernels,
+            strategies=opts.strategies,
+            seed=opts.seed,
+            k=opts.k,
+            stride=opts.stride,
+            stride2=opts.stride2,
+            torn_stride=opts.torn_stride,
+            corruption_trials=opts.corruption_trials,
+            random_trials=opts.random_trials,
+        )
+        jobs = opts.jobs
+    artifact = run_campaign(spec, jobs=jobs, log=print)
+    print(campaign_result(artifact).format_table())
+    if opts.out:
+        write_artifact(artifact, opts.out)
+        print(f"artifact written to {opts.out}")
+    n_failures = len(artifact["divergences"])
+    if n_failures:
+        print(f"FAIL: {n_failures} divergent fault schedules (repro commands above)")
+        return 1
+    totals = artifact["totals"]
+    print(
+        f"PASS: {totals['trials']} trials, {totals['degraded']} graceful "
+        f"degradations, 0 silent divergences ({artifact['meta']['elapsed_s']}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Schedule shrinking: reduce a divergent fault schedule to a minimal
+reproducer.
+
+Greedy delta-debugging over the schedule's structure: drop nested cuts,
+drop the corruption flip, drop config overrides, then shrink every
+numeric knob (halve, then decrement) -- accepting each candidate only
+if the divergence still reproduces.  The result is the smallest
+schedule this process converges to, bounded by an evaluation budget so
+a pathological oracle cannot stall the campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+from repro.faults.schedule import FaultSchedule, TearSpec
+
+
+def _shrunk_ints(value: int, floor: int) -> List[int]:
+    """Candidate reductions of one integer, largest jump first."""
+    out = []
+    half = floor + (value - floor) // 2
+    if half < value:
+        out.append(half)
+    if value - 1 >= floor and value - 1 != half:
+        out.append(value - 1)
+    return out
+
+
+def _candidates(s: FaultSchedule) -> Iterator[FaultSchedule]:
+    # Structural simplifications first: each removes a whole dimension.
+    min_cuts = 0 if s.tear is not None else 1
+    if len(s.cuts) > min_cuts:
+        yield s.but(cuts=s.cuts[:-1])
+    if s.flip is not None:
+        yield s.but(flip=None)
+    if s.config:
+        yield s.but(config={})
+    if s.tear is not None and s.cuts:
+        # Trade the tear for a plain cut at the front (simpler fault).
+        yield s.but(tear=None, cuts=[1] + list(s.cuts))
+    # Numeric shrinking.
+    if s.tear is not None:
+        for v in _shrunk_ints(s.tear.apply_index, 1):
+            yield s.but(tear=TearSpec(v))
+    for i, cut in enumerate(s.cuts):
+        floor = 1 if (i == 0 and s.tear is None) else 0
+        for v in _shrunk_ints(cut, floor):
+            yield s.but(cuts=s.cuts[:i] + [v] + s.cuts[i + 1 :])
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    still_fails: Callable[[FaultSchedule], bool],
+    max_evals: int = 150,
+) -> FaultSchedule:
+    """Greedily minimize *schedule* while ``still_fails`` holds.
+
+    ``still_fails`` must be the campaign's divergence oracle (re-run the
+    trial, return True iff it is still a silent wrong answer or error).
+    The original schedule is assumed to fail; the returned one does too.
+    """
+    current = schedule
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for cand in _candidates(current):
+            evals += 1
+            if evals > max_evals:
+                break
+            if still_fails(cand):
+                current = cand
+                improved = True
+                break
+    return current

@@ -575,6 +575,28 @@ def recovery_check(stride: int = 5) -> FigureResult:
     return result
 
 
+def faults_campaign(n_insts: int = 0) -> FigureResult:
+    """A small seeded adversarial fault campaign (beyond the paper).
+
+    Nested crashes, torn persists, corrupted logs/checkpoints, and
+    boundary-state cuts over two kernels; the full campaign is
+    ``python -m repro.faults`` (see ``--smoke`` for the CI gate).
+    """
+    from repro.faults.campaign import CampaignSpec, run_campaign
+    from repro.harness.report import campaign_result
+
+    spec = CampaignSpec(
+        kernels=["counter", "linked_list"],
+        strategies=["nested", "torn", "corruption", "boundary"],
+        seed=1,
+        stride=31,
+        stride2=13,
+        torn_stride=29,
+        corruption_trials=12,
+    )
+    return campaign_result(run_campaign(spec))
+
+
 ALL_EXPERIMENTS = {
     "fig01": fig01,
     "fig06": fig06,
@@ -597,6 +619,7 @@ ALL_EXPERIMENTS = {
     "hw": hardware_overhead,
     "multicore": multicore,
     "recovery": recovery_check,
+    "faults": faults_campaign,
 }
 
 

@@ -1,7 +1,9 @@
-"""Result containers and table formatting for the figure harness."""
+"""Result containers and table formatting for the figure harness,
+plus the consumer for fault-campaign JSON artifacts."""
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
@@ -84,3 +86,53 @@ class FigureResult:
         writer.writerow(self.headers)
         writer.writerows(self.rows)
         return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Fault-campaign artifacts (produced by ``python -m repro.faults``)
+# ----------------------------------------------------------------------
+def load_campaign(path: str) -> Dict:
+    """Read a campaign JSON artifact from disk."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def campaign_result(artifact: Dict) -> FigureResult:
+    """Render a fault-campaign artifact as a harness FigureResult.
+
+    One row per (kernel, strategy) cell; the summary carries the
+    campaign totals, and any divergence is surfaced in the description
+    so a glance at the table shows whether the persistence guarantee
+    held under the adversary.
+    """
+    meta = artifact.get("meta", {})
+    totals = artifact.get("totals", {})
+    n_div = totals.get("divergent", 0) + totals.get("error", 0)
+    status = "all consistent-or-degraded" if n_div == 0 else f"{n_div} DIVERGENCES"
+    result = FigureResult(
+        "Faults",
+        f"Adversarial fault campaign (seed {meta.get('seed')}): {status}",
+        ["kernel", "strategy", "trials", "ok", "degraded", "divergent"],
+        paper_says=(
+            "paper never tests recovery; campaign covers nested crashes, "
+            "torn persists, corrupted logs/checkpoints, boundary states"
+        ),
+    )
+    for kernel in sorted(artifact.get("per_kernel", {})):
+        cells = artifact["per_kernel"][kernel]
+        for strategy in sorted(cells):
+            cell = cells[strategy]
+            result.add(
+                kernel,
+                strategy,
+                cell.get("trials", 0),
+                cell.get("ok", 0) + cell.get("completed", 0),
+                cell.get("degraded", 0),
+                cell.get("divergent", 0) + cell.get("error", 0),
+            )
+    result.summary = {
+        "trials": float(totals.get("trials", 0)),
+        "divergent": float(n_div),
+        "degraded": float(totals.get("degraded", 0)),
+    }
+    return result

@@ -22,12 +22,21 @@ output equal the failure-free run's.
 """
 
 from repro.recovery.model import (
+    FailureImage,
     FunctionalPersistence,
     PersistenceConfig,
     PowerFailure,
     RegionRecord,
+    word_checksum,
 )
-from repro.recovery.protocol import RecoveryError, RecoveryResult, recover_and_resume
+from repro.recovery.protocol import (
+    DegradedRecovery,
+    RecoveryError,
+    RecoveryResult,
+    assess_damage,
+    recover_and_resume,
+    recover_checked,
+)
 from repro.recovery.failure import FailurePlan, run_with_failure
 from repro.recovery.checker import ConsistencyReport, check_crash_consistency
 from repro.recovery.multithread import (
@@ -39,6 +48,8 @@ from repro.recovery.multithread import (
 
 __all__ = [
     "ConsistencyReport",
+    "DegradedRecovery",
+    "FailureImage",
     "FailurePlan",
     "FunctionalPersistence",
     "PersistenceConfig",
@@ -49,8 +60,11 @@ __all__ = [
     "ThreadSpec",
     "ThreadedExecution",
     "ThreadedPersistence",
+    "assess_damage",
     "check_crash_consistency",
     "check_threaded_crash_consistency",
     "recover_and_resume",
+    "recover_checked",
     "run_with_failure",
+    "word_checksum",
 ]

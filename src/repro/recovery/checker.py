@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.ir.function import Module
-from repro.ir.interpreter import Interpreter
 from repro.recovery.failure import FailurePlan, run_with_failure
 from repro.recovery.model import PersistenceConfig
 from repro.recovery.protocol import RecoveryError, recover_and_resume
@@ -37,6 +36,13 @@ class ConsistencyReport:
     restarts: int = 0  # recoveries that restarted the program from scratch
     resumed_steps_total: int = 0
     divergences: List[Divergence] = field(default_factory=list)
+    #: Planned failure points the sweep could not inject (the run
+    #: completed before the failure fired).  Should be empty now that
+    #: points are capped at the final committed event; reported rather
+    #: than silently dropped.
+    skipped_points: List[int] = field(default_factory=list)
+    #: The reference run's observable output (released by the model).
+    reference_output: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -51,11 +57,14 @@ class ConsistencyReport:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.divergences)} DIVERGENCES"
-        return (
+        text = (
             f"{status}: {self.points_checked} failure points over "
             f"{self.total_events} events, {self.restarts} restarts, "
             f"mean re-executed fraction {self.mean_resumed_fraction:.3f}"
         )
+        if self.skipped_points:
+            text += f", {len(self.skipped_points)} points skipped"
+        return text
 
 
 def check_crash_consistency(
@@ -70,26 +79,30 @@ def check_crash_consistency(
     """Inject a power failure after every ``stride``-th committed event.
 
     The reference is the failure-free run *under the same model* (so the
-    reference output ordering reflects the same region retirement).  For
-    each failure point: recover, resume to completion, and compare
-    observable output and final memory.
+    reference output ordering reflects the same region retirement, and
+    the model's event count defines the sweep range).  For each failure
+    point: recover, resume to completion, and compare observable output
+    and final memory.  The final committed event is always a failure
+    point regardless of stride; points that could not be injected are
+    reported in ``skipped_points`` instead of silently ending the sweep.
     """
-    interp = Interpreter(module, spill_args=spill_args)
-    counter = [0]
-    ref_state = interp.run(
-        entry, args, max_steps, on_event=lambda ev: counter.__setitem__(0, counter[0] + 1)
+    ref_model, ref_completed, ref_state = run_with_failure(
+        module, None, entry, args, config, max_steps, spill_args
     )
-    total = counter[0]
-    ref_output = list(ref_state.output)
+    assert ref_completed and ref_state is not None
+    total = ref_model.events_seen
+    ref_output = list(ref_model.released_output)
     ref_memory = ref_state.memory
 
-    report = ConsistencyReport(total_events=total)
-    for point in range(1, total + 1, max(1, stride)):
+    report = ConsistencyReport(total_events=total, reference_output=ref_output)
+    points = sorted(set(range(1, total + 1, max(1, stride))) | ({total} if total else set()))
+    for point in points:
         model, completed, _ = run_with_failure(
             module, FailurePlan(point), entry, args, config, max_steps, spill_args
         )
         if completed:
-            break  # failure point beyond program end
+            report.skipped_points.append(point)
+            continue
         report.points_checked += 1
         try:
             result = recover_and_resume(

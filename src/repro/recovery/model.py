@@ -35,14 +35,67 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.ir.function import Module
 from repro.ir.interpreter import Frame, MachineState, TraceEvent
+from repro.ir.values import to_s64
 
 
 class PowerFailure(Exception):
     """Raised by the injection hook to cut power mid-run."""
+
+
+_MASK64 = (1 << 64) - 1
+#: The low half of an 8-byte persist (torn-write granularity).
+TEAR_MASK = 0xFFFF_FFFF
+
+
+def word_checksum(addr: int, value: int, salt: int = 0) -> int:
+    """16-bit per-word checksum standing in for NVM ECC / log-entry CRC.
+
+    Cheap mix of address, value, and an optional salt (the owning
+    region's sequence number, for undo-log entries).  Recovery uses it
+    to *detect* torn persists and storage corruption -- in-cache-line
+    logging designs validate entries the same way -- so it can degrade
+    gracefully instead of silently resuming from poisoned state.
+    """
+    x = (
+        (addr * 0x9E3779B97F4A7C15)
+        ^ ((value & _MASK64) * 0xBF58476D1CE4E5B9)
+        ^ ((salt + 1) * 0xD6E8FEB86659FD93)
+    ) & _MASK64
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 29
+    return x & 0xFFFF
+
+
+#: Fault hook signature: ``hook(model, kind, payload) -> bool``.
+#: ``kind`` is ``"apply"`` (payload: the PB entry about to persist at
+#: its MC; return True to claim it, e.g. after a torn apply) or
+#: ``"drain"`` (payload: None, one drain opportunity; return value is
+#: ignored -- an observation point for occupancy probes).
+FaultHook = Callable[["FunctionalPersistence", str, object], bool]
+
+
+@dataclass
+class FailureImage:
+    """Checksum-validated post-failure NVM image (Section VII step 1).
+
+    ``nvm`` has every *verifiably intact* undo-log entry reverted;
+    entries whose checksum failed are listed in ``damaged_log_entries``
+    and left unreverted.  ``damaged_words`` are addresses whose content
+    fails ECC after revert (torn persists, bit flips)."""
+
+    nvm: Dict[int, int]
+    damaged_log_entries: List[Tuple[int, int]] = field(default_factory=list)
+    damaged_words: List[int] = field(default_factory=list)
+    reverted_entries: int = 0
+
+    @property
+    def intact(self) -> bool:
+        return not self.damaged_log_entries and not self.damaged_words
 
 
 @dataclass
@@ -117,6 +170,11 @@ class FunctionalPersistence:
         self.module = module
         self.config = config if config is not None else PersistenceConfig()
         self.nvm: Dict[int, int] = {}
+        #: Per-word checksum of the NVM content ("ECC"), maintained by
+        #: ``_apply``; words whose content disagrees are damaged.
+        self.nvm_ecc: Dict[int, int] = {}
+        #: Optional adversarial fault hook (see :data:`FaultHook`).
+        self.fault_hook: Optional[FaultHook] = None
         # PB entry: (addr, value, region_seq, log_bit)
         self.pb: Deque[Tuple[int, int, int, bool]] = deque()
         self.mc_queues: List[Deque[Tuple[int, int, int, bool]]] = [
@@ -134,6 +192,7 @@ class FunctionalPersistence:
         self._drain_credit = 0.0
         self._mc_credit = [0 for _ in range(self.config.mc_count)]
         # Statistics.
+        self.events_seen = 0
         self.stores_seen = 0
         self.logged_stores = 0
         self.max_pb_occupancy = 0
@@ -141,6 +200,48 @@ class FunctionalPersistence:
         self.rbt_forced_drains = 0
         self.pb_forced_drains = 0
         self._open_region(func="", boundary_uid=-1)  # pre-entry region
+
+    def seed_nvm(self, image: Dict[int, int]) -> None:
+        """Adopt *image* as the initial NVM content (post-failure boot)."""
+        self.nvm.update(image)
+        for addr, value in image.items():
+            self.nvm_ecc[addr] = word_checksum(addr, value)
+
+    @classmethod
+    def for_resume(
+        cls,
+        module: Module,
+        nvm: Dict[int, int],
+        recovery_ptr: Optional[Tuple[str, int, int]],
+        snapshot: Optional[BoundarySnapshot],
+        config: Optional[PersistenceConfig] = None,
+    ) -> "FunctionalPersistence":
+        """Model for a *resumed* epoch after power failure.
+
+        The pre-entry region becomes the recovery point's region: its
+        re-execution is the new head, the NVM recovery pointer still
+        names it (re-keyed to the fresh region seq), and the boundary's
+        oracle snapshot carries over -- so a second failure during the
+        resumed run recovers to the same point until real progress
+        retires it.  With ``recovery_ptr=None`` this is a whole-program
+        restart on the surviving image.
+        """
+        model = cls(module, config)
+        model.seed_nvm(nvm)
+        if recovery_ptr is not None:
+            func, boundary_uid, _old_seq = recovery_ptr
+            pre = model._current_region()
+            pre.func = func
+            pre.boundary_uid = boundary_uid
+            model.recovery_ptr = (func, boundary_uid, pre.seq)
+            if snapshot is not None:
+                model.snapshots[pre.seq] = BoundarySnapshot(
+                    seq=pre.seq,
+                    frames=snapshot.frames,
+                    sp=snapshot.sp,
+                    brk=snapshot.brk,
+                )
+        return model
 
     # ------------------------------------------------------------------
     # Region lifecycle
@@ -211,6 +312,7 @@ class FunctionalPersistence:
     # Event consumption
     # ------------------------------------------------------------------
     def on_event(self, ev: TraceEvent) -> None:
+        self.events_seen += 1
         kind = ev.kind
         if kind == "store":
             force = ev.is_ckpt and self.config.log_ckpt_stores
@@ -274,6 +376,8 @@ class FunctionalPersistence:
 
     def _drain_one(self) -> None:
         """One drain opportunity: move a PB entry and apply MC heads."""
+        if self.fault_hook is not None:
+            self.fault_hook(self, "drain", None)
         if self.pb:
             entry = self.pb.popleft()
             mc = self.config.mc_of(entry[0])
@@ -290,16 +394,39 @@ class FunctionalPersistence:
 
     def _apply(self, entry: Tuple[int, int, int, bool]) -> None:
         """A store arrives at its MC's WPQ: log (if LogBit) and persist."""
+        if self.fault_hook is not None and self.fault_hook(self, "apply", entry):
+            return  # the hook claimed the entry (e.g. torn it)
         addr, value, seq, log_bit = entry
         region = self.regions.get(seq)
         if log_bit:
             self.logged_stores += 1
             log = self.logs.get(seq)
             if log is not None:
-                log.append((addr, self.nvm.get(addr, 0)))
+                old = self.nvm.get(addr, 0)
+                log.append((addr, old, word_checksum(addr, old, seq)))
         self.nvm[addr] = value
+        self.nvm_ecc[addr] = word_checksum(addr, value)
         if region is not None:
             region.pending -= 1
+
+    def apply_torn(self, entry: Tuple[int, int, int, bool]) -> None:
+        """Apply *entry* as a torn persist: power dies mid-write.
+
+        The undo-log write completes intact (logs persist before data on
+        the WPQ path), but only the low half of the data word reaches
+        NVM while the word's ECC was computed over the intended full
+        value -- so the tear is detectable unless the torn word happens
+        to equal the intended one.  Meant to be called from a fault hook
+        that then raises :class:`PowerFailure`.
+        """
+        addr, value, seq, log_bit = entry
+        old = self.nvm.get(addr, 0)
+        log = self.logs.get(seq) if log_bit else None
+        if log is not None:
+            self.logged_stores += 1
+            log.append((addr, old, word_checksum(addr, old, seq)))
+        self.nvm[addr] = to_s64((old & ~TEAR_MASK) | (value & TEAR_MASK))
+        self.nvm_ecc[addr] = word_checksum(addr, value)
 
     def drain_all(self) -> None:
         """Drain everything (used at sync points and program end)."""
@@ -324,6 +451,41 @@ class FunctionalPersistence:
         """
         nvm = dict(self.nvm)
         for seq in sorted(self.logs.keys(), reverse=True):
-            for addr, old in reversed(self.logs[seq]):
+            for addr, old, _chk in reversed(self.logs[seq]):
                 nvm[addr] = old
         return nvm
+
+    def failure_image_checked(self) -> FailureImage:
+        """Like :meth:`failure_image`, but validate every log entry and
+        every NVM word against its checksum.
+
+        Entries that fail validation are *not* reverted (their content
+        cannot be trusted) and are reported in ``damaged_log_entries``;
+        words whose post-revert content fails ECC (torn persists, bit
+        flips) are reported in ``damaged_words``.  The recovery protocol
+        uses the report to degrade gracefully (see
+        :func:`repro.recovery.protocol.recover_checked`).
+        """
+        nvm = dict(self.nvm)
+        ecc = dict(self.nvm_ecc)
+        damaged_entries: List[Tuple[int, int]] = []
+        reverted = 0
+        for seq in sorted(self.logs.keys(), reverse=True):
+            for addr, old, chk in reversed(self.logs[seq]):
+                if chk != word_checksum(addr, old, seq):
+                    damaged_entries.append((seq, addr))
+                    continue
+                nvm[addr] = old
+                ecc[addr] = word_checksum(addr, old)  # revert re-persists
+                reverted += 1
+        damaged_words = sorted(
+            addr
+            for addr, value in nvm.items()
+            if addr in ecc and ecc[addr] != word_checksum(addr, value)
+        )
+        return FailureImage(
+            nvm=nvm,
+            damaged_log_entries=damaged_entries,
+            damaged_words=damaged_words,
+            reverted_entries=reverted,
+        )
