@@ -1,17 +1,54 @@
-"""Shared benchmark helper: run a figure function once, time it,
-print the regenerated rows, and record key aggregates."""
+"""Shared benchmark helpers: one experiment engine for the whole
+benchmark session, so figures that share simulation points (every
+normalized-slowdown figure reuses its baselines) pay for them once."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.harness.engine import Engine
+
+
+@pytest.fixture(scope="session")
+def session_engine():
+    """Session-wide engine with an in-memory result cache.
+
+    Points are keyed by (app, scheme, machine, instrument, n_insts,
+    seed), so benchmarks at different trace lengths never collide but
+    same-length figures deduplicate against each other.  Set
+    ``REPRO_BENCH_JOBS`` to fan cache misses over worker processes.
+    """
+    return Engine(jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 @pytest.fixture
-def run_figure(benchmark, capsys):
+def run_figure(benchmark, capsys, session_engine):
+    """Run a figure once, time it, print the rows, record aggregates.
+
+    Figure wrappers carry their :class:`ExperimentSpec` as a ``.spec``
+    attribute; those route through the session engine.  Plain callables
+    (``recovery_check`` with a custom stride) run directly.
+    """
+
     def _run(figure_fn, check=None, **kwargs):
-        result = benchmark.pedantic(
-            lambda: figure_fn(**kwargs), rounds=1, iterations=1
-        )
+        from repro.harness.figures import run_experiment
+
+        spec = getattr(figure_fn, "spec", None)
+        if spec is not None and set(kwargs) <= {"n_insts"}:
+            def call():
+                return run_experiment(
+                    spec.name,
+                    n_insts=kwargs.get("n_insts"),
+                    engine=session_engine,
+                    spec=spec,
+                )
+        else:
+            def call():
+                return figure_fn(**kwargs)
+
+        result = benchmark.pedantic(call, rounds=1, iterations=1)
         with capsys.disabled():
             print()
             print(result.format_table())

@@ -19,6 +19,7 @@ from repro.arch.config import (
     machine_with_cache_levels,
     skylake_machine,
 )
+from repro.arch.metrics import Counter, Gauge, MetricSet, Ratio, TimeWeighted
 from repro.arch.scheme import Scheme
 from repro.arch.queues import CompletionQueue
 from repro.arch.caches import CacheHierarchy, DirectMappedCache, SetAssocCache
@@ -30,9 +31,14 @@ __all__ = [
     "CacheConfig",
     "CacheHierarchy",
     "CompletionQueue",
+    "Counter",
     "DRAMCacheConfig",
     "DirectMappedCache",
+    "Gauge",
     "MachineConfig",
+    "MetricSet",
+    "Ratio",
+    "TimeWeighted",
     "MulticoreSimulator",
     "MulticoreStats",
     "NVMTech",

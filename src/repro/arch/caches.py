@@ -192,3 +192,23 @@ class CacheHierarchy:
     def llc_miss_rate(self) -> float:
         last = self.dram if self.dram is not None else self.levels[-1]
         return last.miss_rate
+
+    def contribute(self, metrics) -> None:
+        """Register per-level miss ratios (metrics spine).
+
+        Each level owns a ``cache.<name>.miss_rate`` ratio record;
+        ``cache.l1.miss_rate`` / ``cache.llc.miss_rate`` are the two the
+        figures consume.  Ratios merge by summing both sides, so the
+        aggregate rate over merged runs stays access-weighted.
+        """
+        def add(name: str, cache) -> None:
+            rec = metrics.ratio(name)
+            rec.num += cache.misses
+            rec.den += cache.hits + cache.misses
+
+        add("cache.l1.miss_rate", self.levels[0])
+        for level in self.levels[1:]:
+            add(f"cache.{level.name.lower()}.miss_rate", level)
+        if self.dram is not None:
+            add("cache.dram.miss_rate", self.dram)
+        add("cache.llc.miss_rate", self.dram if self.dram is not None else self.levels[-1])

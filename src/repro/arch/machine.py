@@ -23,11 +23,11 @@ code  meaning                  payload
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.arch.caches import CacheHierarchy
 from repro.arch.config import MachineConfig
+from repro.arch.metrics import MetricSet
 from repro.arch.queues import CompletionQueue
 from repro.arch.scheme import Scheme
 
@@ -36,28 +36,58 @@ Event = Tuple  # (code,) or (code, addr)
 _CKPT_SYNTH_BASE = 0x0F80_0000
 
 
-@dataclass
-class SimStats:
-    """Everything the paper's figures need from one run."""
+def _count_view(name: str):
+    def get(self: "SimStats") -> int:
+        return int(self.metrics.value(name))
 
-    scheme: str = ""
-    cycles: float = 0.0
-    insts: int = 0
-    loads: int = 0
-    stores: int = 0
-    boundaries: int = 0
-    l1_miss_rate: float = 0.0
-    llc_miss_rate: float = 0.0
-    nvm_reads: int = 0
-    nvm_writes: int = 0
-    persist_path_bytes: int = 0
-    wb_mean_occupancy: float = 0.0
-    wb_delays: int = 0
-    pb_full_stalls: int = 0
-    rbt_full_stalls: int = 0
-    wpq_full_stalls: int = 0
-    wpq_load_hits: int = 0
-    boundary_stall_cycles: float = 0.0
+    return property(get)
+
+
+def _float_view(name: str):
+    def get(self: "SimStats") -> float:
+        return self.metrics.value(name)
+
+    return property(get)
+
+
+class SimStats:
+    """One run's metrics, with the legacy flat names as read views.
+
+    The canonical storage is a component-owned :class:`MetricSet`
+    (see :mod:`repro.arch.metrics`): the core loop owns ``core.*``,
+    ``nvm.*`` and ``path.*`` counters, each :class:`CompletionQueue`
+    contributes its ``wb.*``/``pb.*``/``rbt.*``/``wpq.*`` records, and
+    the cache hierarchy contributes ``cache.*`` ratios.  The flat
+    attribute names the figures and tests have always used
+    (``cycles``, ``nvm_writes``, ``wb_mean_occupancy``, ...) are
+    read-only properties over those records, so new structures can
+    report stats without editing this class.
+    """
+
+    __slots__ = ("scheme", "metrics")
+
+    def __init__(self, scheme: str = "", metrics: Optional[MetricSet] = None) -> None:
+        self.scheme = scheme
+        self.metrics = MetricSet() if metrics is None else metrics
+
+    # Legacy flat views over the component-owned records.
+    cycles = _float_view("core.cycles")
+    insts = _count_view("core.insts")
+    loads = _count_view("core.loads")
+    stores = _count_view("core.stores")
+    boundaries = _count_view("core.boundaries")
+    boundary_stall_cycles = _float_view("core.boundary_stall_cycles")
+    l1_miss_rate = _float_view("cache.l1.miss_rate")
+    llc_miss_rate = _float_view("cache.llc.miss_rate")
+    nvm_reads = _count_view("nvm.reads")
+    nvm_writes = _count_view("nvm.writes")
+    persist_path_bytes = _count_view("path.bytes")
+    wb_mean_occupancy = _float_view("wb.mean_occupancy")
+    wb_delays = _count_view("wb.delays")
+    pb_full_stalls = _count_view("pb.full_stalls")
+    rbt_full_stalls = _count_view("rbt.full_stalls")
+    wpq_full_stalls = _count_view("wpq.full_stalls")
+    wpq_load_hits = _count_view("wpq.load_hits")
 
     @property
     def ipc(self) -> float:
@@ -70,6 +100,25 @@ class SimStats:
     @property
     def wpq_hits_per_minst(self) -> float:
         return self.wpq_load_hits / (self.insts / 1e6) if self.insts else 0.0
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Fold another run's records in (multi-core aggregation)."""
+        self.metrics.merge(other.metrics)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (engine result cache, per-run metrics dumps)."""
+        return {"scheme": self.scheme, "metrics": self.metrics.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        return cls(data.get("scheme", ""), MetricSet.from_dict(data["metrics"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimStats(scheme={self.scheme!r}, cycles={self.cycles:.0f}, "
+            f"insts={self.insts})"
+        )
 
 
 class TimingSimulator:
@@ -111,14 +160,26 @@ class TimingSimulator:
         self._extra_store_cost = scheme.extra_insts_per_store * self._commit_cost
         self._extra_region_cost = scheme.extra_insts_per_region * self._commit_cost
         self.stats = SimStats(scheme=scheme.name)
+        # Core-owned records, bound once for the hot loop.
+        m = self.stats.metrics
+        self._c_insts = m.counter("core.insts")
+        self._c_loads = m.counter("core.loads")
+        self._c_stores = m.counter("core.stores")
+        self._c_boundaries = m.counter("core.boundaries")
+        self._c_boundary_stall = m.counter("core.boundary_stall_cycles")
+        self._c_nvm_reads = m.counter("nvm.reads")
+        self._c_nvm_writes = m.counter("nvm.writes")
+        self._c_path_bytes = m.counter("path.bytes")
+        self._c_wb_delays = m.counter("wb.delays")
+        self._c_wpq_hits = m.counter("wpq.load_hits")
 
     # ------------------------------------------------------------------
     def run(self, events: Iterable[Event]) -> SimStats:
-        stats = self.stats
+        c_insts = self._c_insts
         for ev in events:
             code = ev[0]
             self.cycle += self._commit_cost
-            stats.insts += 1
+            c_insts.value += 1
             if code == "a":
                 continue
             if code == "l":
@@ -136,41 +197,50 @@ class TimingSimulator:
                 self._sync()
             else:  # pragma: no cover - generator bug guard
                 raise ValueError(f"unknown event code {code!r}")
-        # Let outstanding persists finish.
+        return self.finalize()
+
+    def finalize(self, shared_owner: bool = True) -> SimStats:
+        """Drain outstanding persists and collect component metrics.
+
+        ``shared_owner=False`` is the multi-core path for cores 1..N-1:
+        the WPQs are shared objects referenced by every core, so only
+        one core (the owner) contributes their records to avoid double
+        counting.
+        """
         if self.scheme.persist_stores:
             self.cycle = max(self.cycle, self.region_last_persist, self.prev_region_complete)
-        stats.cycles = self.cycle
-        stats.l1_miss_rate = self.hier.l1_miss_rate()
-        stats.llc_miss_rate = self.hier.llc_miss_rate()
-        stats.wb_mean_occupancy = self.wb.mean_occupancy(self.cycle) if self.cycle else 0.0
-        stats.pb_full_stalls = self.pb.full_stalls
-        stats.rbt_full_stalls = self.rbt.full_stalls
-        stats.wpq_full_stalls = sum(q.full_stalls for q in self.wpq)
-        return stats
+        m = self.stats.metrics
+        m.gauge("core.cycles").value = self.cycle
+        self.hier.contribute(m)
+        self.wb.contribute(m, "wb", self.cycle)
+        self.pb.contribute(m, "pb", self.cycle)
+        self.rbt.contribute(m, "rbt", self.cycle)
+        if shared_owner:
+            for q in self.wpq:
+                q.contribute(m, "wpq", self.cycle)
+        return self.stats
 
     # ------------------------------------------------------------------
     def _load(self, addr: int) -> None:
-        stats = self.stats
-        stats.loads += 1
+        self._c_loads.value += 1
         latency, to_nvm, l1_ev, llc_ev = self.hier.access(addr, False)
         penalty = latency - self._l1_lat
         if to_nvm:
             mc = self.machine.mc_of(addr)
             penalty += self._nvm_read_cyc + self._mc_extra[mc]
-            stats.nvm_reads += 1
+            self._c_nvm_reads.value += 1
             if self.scheme.persist_stores and self.scheme.wpq_load_delay:
                 done = self.wpq_word_done[mc].get(addr >> 3)
                 ready = self.cycle + penalty
                 if done is not None and done > ready:
-                    stats.wpq_load_hits += 1
+                    self._c_wpq_hits.value += 1
                     penalty = done - self.cycle
         if penalty > 0:
             self.cycle += penalty * self._mlp
         self._evictions(l1_ev, llc_ev)
 
     def _store(self, addr: int, is_ckpt: bool) -> None:
-        stats = self.stats
-        stats.stores += 1
+        self._c_stores.value += 1
         if self._extra_store_cost:
             self.cycle += self._extra_store_cost
         _, _, l1_ev, llc_ev = self.hier.access(addr, True)
@@ -216,8 +286,8 @@ class TimingSimulator:
         if len(words) > 8192:
             now = self.cycle
             self.wpq_word_done[mc] = {w: t for w, t in words.items() if t > now}
-        self.stats.persist_path_bytes += self.scheme.persist_bytes
-        self.stats.nvm_writes += 1
+        self._c_path_bytes.value += self.scheme.persist_bytes
+        self._c_nvm_writes.value += 1
 
     def _evictions(self, l1_ev: Optional[int], llc_ev: Optional[int]) -> None:
         if l1_ev is not None:
@@ -229,7 +299,7 @@ class TimingSimulator:
                 persist = self.line_persist_time.get(l1_ev, 0.0)
                 if persist > drain:
                     drain = persist
-                    self.stats.wb_delays += 1
+                    self._c_wb_delays.value += 1
             self.wb.push(drain)
         if llc_ev is not None:
             if self.scheme.persist_stores:
@@ -239,11 +309,10 @@ class TimingSimulator:
             mc = self.machine.mc_of(llc_ev << self._line_bits)
             start = max(self.cycle, self.nvm_free[mc])
             self.nvm_free[mc] = start + 64 * self._nvm_cpb
-            self.stats.nvm_writes += 1
+            self._c_nvm_writes.value += 1
 
     def _boundary(self) -> None:
-        stats = self.stats
-        stats.boundaries += 1
+        self._c_boundaries.value += 1
         if self._extra_region_cost:
             self.cycle += self._extra_region_cost
         scheme = self.scheme
@@ -265,11 +334,11 @@ class TimingSimulator:
         if scheme.mc_speculation:
             before = self.cycle
             self.cycle = self.rbt.admit(self.cycle)
-            stats.boundary_stall_cycles += self.cycle - before
+            self._c_boundary_stall.value += self.cycle - before
             self.rbt.push(complete)
         elif scheme.stall_at_boundary:
             if complete > self.cycle:
-                stats.boundary_stall_cycles += complete - self.cycle
+                self._c_boundary_stall.value += complete - self.cycle
                 self.cycle = complete
         else:
             # Capri-style battery-backed redo buffer: no boundary stall;
@@ -282,7 +351,7 @@ class TimingSimulator:
             return
         target = max(self.region_last_persist, self.prev_region_complete)
         if target > self.cycle:
-            self.stats.boundary_stall_cycles += target - self.cycle
+            self._c_boundary_stall.value += target - self.cycle
             self.cycle = target
 
 

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.arch.caches import CacheHierarchy
 from repro.arch.config import MachineConfig
 from repro.arch.machine import Event, SimStats, TimingSimulator
+from repro.arch.metrics import MetricSet
 from repro.arch.queues import CompletionQueue
 from repro.arch.scheme import Scheme
 
@@ -37,6 +38,20 @@ class MulticoreStats:
     """Aggregate of a multi-core run."""
 
     per_core: List[SimStats] = field(default_factory=list)
+
+    def merged(self) -> SimStats:
+        """One mergeable record set for the whole run.
+
+        Counters sum across cores, the cycle gauge keeps the makespan,
+        and occupancy/ratio records stay time- and access-weighted --
+        this is what the experiment engine ships across process
+        boundaries and stores in its result cache.
+        """
+        metrics = MetricSet()
+        for stats in self.per_core:
+            metrics.merge(stats.metrics)
+        scheme = self.per_core[0].scheme if self.per_core else ""
+        return SimStats(scheme=scheme, metrics=metrics)
 
     @property
     def cycles(self) -> float:
@@ -121,7 +136,7 @@ class MulticoreSimulator:
             if ev is None:
                 continue
             core = self.cores[idx]
-            core.stats.insts += 1
+            core._c_insts.value += 1
             core.cycle += core._commit_cost
             code = ev[0]
             if code == "l":
@@ -143,21 +158,10 @@ class MulticoreSimulator:
             if pending[idx] is not None:
                 heapq.heappush(heap, (core.cycle, idx))
         stats = MulticoreStats()
-        for core in self.cores:
-            if core.scheme.persist_stores:
-                core.cycle = max(
-                    core.cycle, core.region_last_persist, core.prev_region_complete
-                )
-            core.stats.cycles = core.cycle
-            core.stats.l1_miss_rate = core.hier.l1_miss_rate()
-            core.stats.llc_miss_rate = core.hier.llc_miss_rate()
-            core.stats.pb_full_stalls = core.pb.full_stalls
-            core.stats.rbt_full_stalls = core.rbt.full_stalls
-            stats.per_core.append(core.stats)
-        # WPQs are shared: record the global stall count on core 0 only.
-        stats.per_core[0].wpq_full_stalls = sum(
-            q.full_stalls for q in self.cores[0].wpq
-        )
+        for idx, core in enumerate(self.cores):
+            # The WPQs are shared queue objects: only core 0 owns their
+            # records, so merged aggregates count them exactly once.
+            stats.per_core.append(core.finalize(shared_owner=idx == 0))
         return stats
 
 

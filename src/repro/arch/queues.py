@@ -68,6 +68,20 @@ class CompletionQueue:
         self.advance(now)
         return self.occ_integral / now if now > 0 else 0.0
 
+    def contribute(self, metrics, prefix: str, now: float) -> None:
+        """Register this queue's records under *prefix* (metrics spine).
+
+        Called at simulation finalize; records are mergeable, so several
+        queues of the same kind (the per-MC WPQs) or several cores'
+        private queues fold into aggregate stats naturally.
+        """
+        self.advance(now)
+        metrics.counter(f"{prefix}.pushes").value += self.pushes
+        metrics.counter(f"{prefix}.full_stalls").value += self.full_stalls
+        occ = metrics.time_weighted(f"{prefix}.mean_occupancy")
+        occ.integral += self.occ_integral
+        occ.time += now
+
 
 class OccupancyProbe:
     """Tagged occupancy series with extreme-point queries.

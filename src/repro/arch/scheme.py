@@ -7,7 +7,8 @@ ablations) are factory functions in :mod:`repro.schemes`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,12 @@ class Scheme:
     coalesce_lines: bool = False
 
     def with_name(self, name: str) -> "Scheme":
-        from dataclasses import replace
-
         return replace(self, name=name)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat knob dictionary for experiment artifacts and reports.
+
+        The report layer embeds this in figure JSON artifacts so every
+        result records exactly which persistence machinery produced it.
+        """
+        return asdict(self)

@@ -11,7 +11,6 @@ minimal schedule with its own reproducer).
 from __future__ import annotations
 
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -168,16 +167,19 @@ def run_campaign(
     log=None,
 ) -> Dict[str, object]:
     """Run the whole campaign; return the JSON-serializable artifact."""
+    from repro.harness.engine import parallel_map
+
     t0 = time.time()
     tasks = build_schedules(spec)
-    records: List[Dict[str, object]] = []
-    if jobs > 1 and len(tasks) > 1:
-        pool_tasks = [(k, s.to_dict()) for k, s in tasks]
-        with multiprocessing.Pool(processes=jobs) as pool:
-            records = list(pool.imap_unordered(_pool_trial, pool_tasks, chunksize=8))
-    else:
-        for kernel, schedule in tasks:
-            records.append(run_trial(kernel, schedule).to_dict())
+    # Trial outcomes aggregate order-insensitively, so the fan-out can
+    # hand back results as workers finish (ordered=False).
+    records: List[Dict[str, object]] = parallel_map(
+        _pool_trial,
+        [(k, s.to_dict()) for k, s in tasks],
+        jobs=jobs,
+        chunksize=8,
+        ordered=False,
+    )
 
     totals = {"trials": len(records), "ok": 0, "completed": 0, "degraded": 0,
               "divergent": 0, "error": 0}

@@ -1,15 +1,34 @@
 """Experiment harness: regenerates every table and figure of the paper.
 
-``repro.harness.figures`` has one function per experiment (``fig01``
-.. ``fig27``, ``tab01``, ``hardware_overhead``, ``recovery_check``);
-each returns a :class:`FigureResult` whose ``format_table()`` prints
-the same rows/series the paper reports.  Run them all from the CLI::
+``repro.harness.figures`` describes each experiment (``fig01`` ..
+``fig27``, ``tab01``, ``hardware_overhead``, ``recovery_check``) as a
+declarative :class:`~repro.harness.spec.ExperimentSpec` -- a point grid
+plus a pure reducer plus expected-shape assertions.  The
+:class:`~repro.harness.engine.Engine` dedupes points across
+experiments, fans cache misses over a process pool, and serves warm
+reruns from a content-addressed on-disk cache.  Run it all from the
+CLI::
 
-    python -m repro.harness.figures            # everything
-    python -m repro.harness.figures fig13 fig14
+    python -m repro.harness                    # everything, cached
+    python -m repro.harness fig13 fig14 --jobs 4
 """
 
-from repro.harness.runner import Runner
+from repro.harness.engine import Engine, MemoryCache, NullCache, ResultCache
 from repro.harness.report import FigureResult, format_table, gmean
+from repro.harness.runner import Runner
+from repro.harness.spec import ExperimentSpec, PlanContext, ShapeError, SimPoint
 
-__all__ = ["FigureResult", "Runner", "format_table", "gmean"]
+__all__ = [
+    "Engine",
+    "ExperimentSpec",
+    "FigureResult",
+    "MemoryCache",
+    "NullCache",
+    "PlanContext",
+    "ResultCache",
+    "Runner",
+    "ShapeError",
+    "SimPoint",
+    "format_table",
+    "gmean",
+]

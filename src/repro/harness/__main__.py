@@ -1,6 +1,6 @@
-"""``python -m repro.harness`` — alias for the figure regeneration CLI."""
+"""``python -m repro.harness`` — the experiment-engine CLI."""
 
-from repro.harness.figures import main
+from repro.harness.cli import main
 
 if __name__ == "__main__":
     main()

@@ -1,0 +1,303 @@
+"""The experiment executor: plan once, dedupe, fan out, cache forever.
+
+Given a set of :class:`~repro.harness.spec.ExperimentSpec`\\ s the
+engine
+
+1. *plans* every experiment's point grid and takes the union --
+   duplicated points (every normalized-slowdown figure shares its
+   baseline runs) are simulated exactly once;
+2. serves points from a content-addressed on-disk cache under
+   ``.repro-cache/``, keyed by a stable hash of the point, the machine
+   and scheme configuration, and a code-version salt over the simulator
+   sources -- a warm rerun of ``python -m repro.harness`` does zero
+   simulations;
+3. fans cache misses out over a ``multiprocessing`` pool (``--jobs N``);
+   workers regenerate traces from the point key, so only compact
+   :class:`~repro.arch.machine.SimStats` metric sets cross process
+   boundaries;
+4. re-runs each experiment's reducer against the resolved results and
+   enforces its expected-shape assertions.
+
+The same pool helper (:func:`parallel_map`) backs the fault campaign's
+trial fan-out in :mod:`repro.faults.campaign`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.machine import SimStats, simulate
+from repro.arch.multicore import simulate_multicore
+from repro.harness.report import FigureResult
+from repro.harness.spec import (
+    ExperimentSpec,
+    MulticorePoint,
+    PlanContext,
+    Point,
+    ResolvedResolver,
+    SimPoint,
+    validate_result,
+)
+from repro.workloads.profiles import PROFILES
+from repro.workloads.synthetic import generate_trace, prime_ranges
+
+#: Default on-disk cache location, relative to the working directory.
+CACHE_DIR = ".repro-cache"
+
+#: Source packages whose content invalidates cached simulation results.
+_SALTED_PACKAGES = ("repro.arch", "repro.workloads", "repro.schemes")
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Hash of every source file the simulation result depends on.
+
+    Editing the simulator, the workload generator, or the scheme
+    catalog changes the salt and invalidates the whole cache; editing
+    the harness (reducers, report formatting) does not.
+    """
+    global _code_salt
+    if _code_salt is None:
+        import importlib
+
+        h = hashlib.sha256()
+        for pkg_name in _SALTED_PACKAGES:
+            pkg = importlib.import_module(pkg_name)
+            pkg_dir = Path(pkg.__file__).parent
+            for path in sorted(pkg_dir.rglob("*.py")):
+                h.update(str(path.relative_to(pkg_dir)).encode())
+                h.update(path.read_bytes())
+        _code_salt = h.hexdigest()[:16]
+    return _code_salt
+
+
+def point_cache_key(point: Point, salt: Optional[str] = None) -> str:
+    """Stable content hash of a point plus the code-version salt."""
+    payload = {
+        "kind": type(point).__name__,
+        "point": dataclasses.asdict(point),
+        "salt": code_salt() if salt is None else salt,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Point execution (runs in worker processes: must stay top-level).
+# ----------------------------------------------------------------------
+def compute_point(point: Point) -> SimStats:
+    """Regenerate the trace(s) for *point* and simulate it."""
+    if isinstance(point, MulticorePoint):
+        traces = [
+            generate_trace(
+                PROFILES[app], point.n_insts, seed=point.seed + i,
+                instrument=point.instrument,
+            )
+            for i, app in enumerate(point.apps)
+        ]
+        prime = [r for app in point.prime_apps for r in prime_ranges(PROFILES[app])]
+        mstats = simulate_multicore(
+            traces, point.machine, point.scheme, point.n_cores, prime=prime
+        )
+        return mstats.merged()
+    profile = PROFILES[point.app]
+    trace = generate_trace(
+        profile, point.n_insts, point.seed, instrument=point.instrument
+    )
+    return simulate(trace, point.machine, point.scheme, prime=prime_ranges(profile))
+
+
+def _execute_task(task: Tuple[str, Point]) -> SimStats:
+    return compute_point(task[1])
+
+
+def parallel_map(
+    fn: Callable,
+    tasks: Sequence,
+    jobs: int = 1,
+    chunksize: int = 1,
+    ordered: bool = True,
+) -> List:
+    """Map *fn* over *tasks*, optionally across a process pool.
+
+    ``jobs <= 1`` (or a single task) runs inline, which keeps tracebacks
+    readable and avoids pool startup for trivial work.  ``ordered=False``
+    trades result order for scheduling slack (the fault campaign
+    aggregates order-insensitively).
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        if ordered:
+            return pool.map(fn, tasks, chunksize=chunksize)
+        return list(pool.imap_unordered(fn, tasks, chunksize=chunksize))
+
+
+# ----------------------------------------------------------------------
+# Result caches
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed JSON store under *root* (one file per point)."""
+
+    def __init__(self, root: str = CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimStats]:
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            return SimStats.from_dict(data["stats"])
+        except (OSError, ValueError, KeyError):
+            return None  # missing or torn/corrupt entry: recompute
+
+    def put(self, key: str, point: Point, stats: SimStats) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "kind": type(point).__name__,
+            "point": dataclasses.asdict(point),
+            "stats": stats.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)  # atomic: concurrent runs never tear entries
+
+
+class MemoryCache:
+    """In-process cache (the default for direct figure-function calls)."""
+
+    def __init__(self) -> None:
+        self._store: Dict[str, SimStats] = {}
+
+    def get(self, key: str) -> Optional[SimStats]:
+        return self._store.get(key)
+
+    def put(self, key: str, point: Point, stats: SimStats) -> None:
+        self._store[key] = stats
+
+
+class NullCache:
+    """No caching (``--no-cache``)."""
+
+    def get(self, key: str) -> Optional[SimStats]:
+        return None
+
+    def put(self, key: str, point: Point, stats: SimStats) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class RunInfo:
+    """What the last :meth:`Engine.run` actually did."""
+
+    planned: int = 0
+    executed: int = 0
+    cached: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.planned} deduplicated points: {self.cached} cached, "
+            f"{self.executed} simulated"
+        )
+
+
+class Engine:
+    """Plans, deduplicates, executes, caches, and reduces experiments."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        seed: int = 1,
+        n_insts: Optional[int] = None,
+        salt: Optional[str] = None,
+    ) -> None:
+        self.jobs = jobs
+        self.cache = MemoryCache() if cache is None else cache
+        self.seed = seed
+        #: Global n_insts override; ``None`` uses each spec's default.
+        self.n_insts = n_insts
+        self._salt = salt
+        self.last_run: Optional[RunInfo] = None
+        #: Scheme provenance per experiment name, from the last run.
+        self.provenance: Dict[str, Dict[str, object]] = {}
+
+    def context_for(self, spec: ExperimentSpec) -> PlanContext:
+        return PlanContext(
+            n_insts=self.n_insts if self.n_insts is not None else spec.default_n_insts,
+            seed=self.seed,
+        )
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, FigureResult]:
+        """Run *specs* as one batch; returns ``{name: FigureResult}``.
+
+        Planning takes the union of all experiments' grids, so shared
+        points (baselines above all) execute exactly once per batch and
+        at most once ever with a persistent cache.
+        """
+        say = progress if progress is not None else lambda _msg: None
+
+        # Phase 1: plan the union grid.
+        points: Dict[Point, None] = {}
+        for spec in specs:
+            for point in spec.plan(self.context_for(spec)):
+                points.setdefault(point, None)
+
+        # Phase 2: split cache hits from work.
+        resolved: Dict[Point, SimStats] = {}
+        misses: List[Tuple[str, Point]] = []
+        for point in points:
+            key = point_cache_key(point, self._salt)
+            hit = self.cache.get(key)
+            if hit is None:
+                misses.append((key, point))
+            else:
+                resolved[point] = hit
+        info = RunInfo(
+            planned=len(points), executed=len(misses),
+            cached=len(points) - len(misses),
+        )
+        say(f"plan: {info.describe()} (jobs={self.jobs})")
+
+        # Phase 3: fan misses out over the pool and backfill the cache.
+        computed = parallel_map(_execute_task, misses, jobs=self.jobs)
+        for (key, point), stats in zip(misses, computed):
+            self.cache.put(key, point, stats)
+            resolved[point] = stats
+
+        # Phase 4: reduce every experiment and check its shape.
+        results: Dict[str, FigureResult] = {}
+        for spec in specs:
+            resolver = ResolvedResolver(self.context_for(spec), resolved)
+            result = spec.build(resolver, self.context_for(spec))
+            validate_result(spec, result)
+            results[spec.name] = result
+            self.provenance[spec.name] = {
+                name: scheme.describe()
+                for name, scheme in sorted(resolver.schemes_seen.items())
+            }
+            say(f"done: {spec.name}")
+        self.last_run = info
+        return results
+
+    def run_one(self, spec: ExperimentSpec) -> FigureResult:
+        return self.run([spec])[spec.name]

@@ -1,16 +1,24 @@
-"""One function per paper table/figure.
+"""Every paper table/figure as a declarative :class:`ExperimentSpec`.
 
-Every function returns a :class:`FigureResult` containing the same
-rows/series the paper's figure plots, computed on the scaled machine
-with the synthetic application profiles (see DESIGN.md for the
-substitution argument).  ``n_insts`` trades fidelity for speed; the
-defaults regenerate EXPERIMENTS.md in a few minutes, and the
-pytest-benchmark wrappers use smaller values.
+Each experiment is a *reducer* -- a pure function from a
+:class:`~repro.harness.spec.Resolver` to a :class:`FigureResult` --
+plus expected-shape assertions.  The engine plans the union of all
+requested experiments' point grids, deduplicates it (the baseline runs
+are shared by every normalized-slowdown figure), executes misses in
+parallel, and replays the reducers against cached results; see
+:mod:`repro.harness.engine`.
+
+The historical per-figure callables (``fig01`` .. ``fig27``, ``tab01``,
+``hardware_overhead``, ``multicore``, ``recovery_check``,
+``faults_campaign``) still exist and share one in-process engine, so
+direct calls and the pytest-benchmark wrappers reuse each other's
+simulations.  ``n_insts`` trades fidelity for speed; the defaults
+regenerate EXPERIMENTS.md in a few minutes.
 
 Run from the command line::
 
-    python -m repro.harness.figures            # everything
-    python -m repro.harness.figures fig13 fig21
+    python -m repro.harness                    # everything, cached
+    python -m repro.harness fig13 fig21 --jobs 4
 """
 
 from __future__ import annotations
@@ -27,8 +35,9 @@ from repro.arch.config import (
     machine_with_cache_levels,
     skylake_machine,
 )
+from repro.harness.engine import Engine
 from repro.harness.report import FigureResult, gmean
-from repro.harness.runner import Runner
+from repro.harness.spec import ExperimentSpec, PlanContext, Resolver
 from repro.schemes import ablation_ladder, baseline, capri, cwsp, psp_ideal, replaycache
 from repro.workloads.profiles import ALL_APPS, MEMORY_INTENSIVE, PROFILES, SUITES
 
@@ -57,12 +66,15 @@ def _ideal_pipeline(machine, bw: float):
     )
 
 
+def _app_rows(result: FigureResult) -> List[List]:
+    return [row for row in result.rows if not str(row[0]).startswith("[")]
+
+
 # ----------------------------------------------------------------------
 # Figure 1: CXL PMEM vs CXL DRAM with 2-5 cache levels
 # ----------------------------------------------------------------------
-def fig01(n_insts: int = 50_000) -> FigureResult:
+def _fig01(r: Resolver, ctx: PlanContext) -> FigureResult:
     """Normalized slowdown of CXL PMEM vs CXL DRAM main memory."""
-    runner = Runner(n_insts)
     result = FigureResult(
         "Figure 1",
         "CXL PMEM vs CXL DRAM slowdown, 2-5 cache levels (baseline, no persistence)",
@@ -77,8 +89,8 @@ def fig01(n_insts: int = 50_000) -> FigureResult:
             m_pmem = machine_with_cache_levels(levels, scaled=True)
             m_dram = machine_with_cache_levels(levels, nvm=CXL_DRAM, scaled=True)
             row.append(
-                runner.stats(app, baseline(), m_pmem, None).cycles
-                / runner.stats(app, baseline(), m_dram, None).cycles
+                r.stats(app, baseline(), m_pmem, None).cycles
+                / r.stats(app, baseline(), m_dram, None).cycles
             )
         per_app[app] = row
         result.add(app, *row)
@@ -88,11 +100,16 @@ def fig01(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig01(result: FigureResult) -> None:
+    assert result.summary["gmean_2lv"] > result.summary["gmean_5lv"], (
+        "slowdown must fall with hierarchy depth"
+    )
+
+
 # ----------------------------------------------------------------------
 # Figure 6: L1D write-buffer occupancy
 # ----------------------------------------------------------------------
-def fig06(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig06(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     result = FigureResult(
         "Figure 6",
@@ -102,8 +119,8 @@ def fig06(n_insts: int = 50_000) -> FigureResult:
     )
     per_app: Dict[str, List[float]] = {}
     for app in ALL_APPS:
-        b = runner.stats(app, baseline(), machine, None).wb_mean_occupancy
-        c = runner.stats(app, cwsp(), machine, "pruned").wb_mean_occupancy
+        b = r.stats(app, baseline(), machine, None).wb_mean_occupancy
+        c = r.stats(app, cwsp(), machine, "pruned").wb_mean_occupancy
         per_app[app] = [max(b, 1e-9), max(c, 1e-9)]
         result.add(app, b, c)
     base_mean = sum(v[0] for v in per_app.values()) / len(per_app)
@@ -113,11 +130,14 @@ def fig06(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig06(result: FigureResult) -> None:
+    assert len(result.rows) == len(ALL_APPS) + 1, "one row per app plus the mean"
+
+
 # ----------------------------------------------------------------------
 # Figure 8: WPQ hits per million instructions
 # ----------------------------------------------------------------------
-def fig08(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig08(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     result = FigureResult(
         "Figure 8",
@@ -127,7 +147,7 @@ def fig08(n_insts: int = 50_000) -> FigureResult:
     )
     vals = []
     for app in ALL_APPS:
-        h = runner.stats(app, cwsp(), machine, "pruned").wpq_hits_per_minst
+        h = r.stats(app, cwsp(), machine, "pruned").wpq_hits_per_minst
         vals.append(h)
         result.add(app, h)
     mean = sum(vals) / len(vals)
@@ -136,11 +156,14 @@ def fig08(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig08(result: FigureResult) -> None:
+    assert all(v >= 0 for v in result.column("WPQ HPMI")), "HPMI cannot be negative"
+
+
 # ----------------------------------------------------------------------
 # Figure 13: headline cWSP overhead
 # ----------------------------------------------------------------------
-def fig13(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig13(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     result = FigureResult(
         "Figure 13",
@@ -150,7 +173,7 @@ def fig13(n_insts: int = 50_000) -> FigureResult:
     )
     per_app: Dict[str, List[float]] = {}
     for app in ALL_APPS:
-        s = runner.slowdown(app, cwsp(), machine)
+        s = r.slowdown(app, cwsp(), machine)
         per_app[app] = [s]
         result.add(app, s)
     _suite_rows(result, per_app, 1)
@@ -158,11 +181,16 @@ def fig13(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig13(result: FigureResult) -> None:
+    assert len(_app_rows(result)) == len(ALL_APPS), "all 37 apps present"
+    assert result.rows[-1][0] == "[All gmean]"
+    assert 1.0 <= result.summary["all_gmean"] < 1.5, "cWSP overhead stays low"
+
+
 # ----------------------------------------------------------------------
 # Figure 14: cWSP vs ReplayCache vs Capri
 # ----------------------------------------------------------------------
-def fig14(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig14(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     m32 = _ideal_pipeline(machine, 32.0)
     result = FigureResult(
@@ -174,11 +202,11 @@ def fig14(n_insts: int = 50_000) -> FigureResult:
     per_app: Dict[str, List[float]] = {}
     for app in ALL_APPS:
         per_app[app] = [
-            runner.slowdown(app, replaycache(), machine, "unpruned"),
-            runner.slowdown(app, capri(), machine, "unpruned"),
-            runner.slowdown(app, capri(), m32, "unpruned", baseline_machine=machine),
-            runner.slowdown(app, cwsp(), machine, "pruned"),
-            runner.slowdown(app, cwsp(), m32, "pruned", baseline_machine=machine),
+            r.slowdown(app, replaycache(), machine, "unpruned"),
+            r.slowdown(app, capri(), machine, "unpruned"),
+            r.slowdown(app, capri(), m32, "unpruned", baseline_machine=machine),
+            r.slowdown(app, cwsp(), machine, "pruned"),
+            r.slowdown(app, cwsp(), m32, "pruned", baseline_machine=machine),
         ]
     _suite_rows(result, per_app, 5)
     last = result.rows[-1]
@@ -192,11 +220,16 @@ def fig14(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig14(result: FigureResult) -> None:
+    s = result.summary
+    assert s["replaycache"] > s["cwsp_4gb"], "ReplayCache must be worst"
+    assert s["capri_4gb"] > s["cwsp_4gb"], "Capri-4GB loses to cWSP"
+
+
 # ----------------------------------------------------------------------
 # Figure 15: per-optimization ablation
 # ----------------------------------------------------------------------
-def fig15(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig15(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     ladder = ablation_ladder()
     result = FigureResult(
@@ -209,7 +242,7 @@ def fig15(n_insts: int = 50_000) -> FigureResult:
     for app in ALL_APPS:
         row = []
         for _, scheme, tk in ladder:
-            row.append(runner.slowdown(app, scheme, machine, tk["ckpts"]))
+            row.append(r.slowdown(app, scheme, machine, tk["ckpts"]))
         per_app[app] = row
     _suite_rows(result, per_app, len(ladder))
     last = result.rows[-1]
@@ -217,10 +250,14 @@ def fig15(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig15(result: FigureResult) -> None:
+    assert len(result.headers) == 7, "suite column plus six ladder stages"
+
+
 # ----------------------------------------------------------------------
 # Table I: CXL device parameters
 # ----------------------------------------------------------------------
-def tab01(n_insts: int = 0) -> FigureResult:
+def _tab01(r: Resolver, ctx: PlanContext) -> FigureResult:
     result = FigureResult(
         "Table I",
         "CXL memory devices modelled",
@@ -232,11 +269,14 @@ def tab01(n_insts: int = 0) -> FigureResult:
     return result
 
 
+def _check_tab01(result: FigureResult) -> None:
+    assert [row[0] for row in result.rows] == list(CXL_DEVICES)
+
+
 # ----------------------------------------------------------------------
 # Figure 17: cWSP on CXL-based NVM
 # ----------------------------------------------------------------------
-def fig17(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig17(r: Resolver, ctx: PlanContext) -> FigureResult:
     result = FigureResult(
         "Figure 17",
         "cWSP slowdown on CXL devices (baseline = same device, no persistence)",
@@ -250,7 +290,7 @@ def fig17(n_insts: int = 50_000) -> FigureResult:
             # CXL adds ~70ns interconnect latency (Pond, [74]).
             cxl_dev = replace(dev, link_ns=70.0)
             machine = skylake_machine(scaled=True, nvm=cxl_dev)
-            row.append(runner.slowdown(app, cwsp(), machine))
+            row.append(r.slowdown(app, cwsp(), machine))
         per_app[app] = row
         result.add(app, *row)
     _suite_rows(result, per_app, len(CXL_DEVICES))
@@ -259,11 +299,14 @@ def fig17(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig17(result: FigureResult) -> None:
+    assert [row[0] for row in _app_rows(result)] == list(MEMORY_INTENSIVE)
+
+
 # ----------------------------------------------------------------------
 # Figure 18: cWSP vs ideal PSP
 # ----------------------------------------------------------------------
-def fig18(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig18(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     result = FigureResult(
         "Figure 18",
@@ -273,8 +316,8 @@ def fig18(n_insts: int = 50_000) -> FigureResult:
     )
     per_app: Dict[str, List[float]] = {}
     for app in MEMORY_INTENSIVE:
-        c = runner.slowdown(app, cwsp(), machine)
-        p = runner.slowdown(app, psp_ideal(), machine, None)
+        c = r.slowdown(app, cwsp(), machine)
+        p = r.slowdown(app, psp_ideal(), machine, None)
         per_app[app] = [c, p]
         result.add(app, c, p)
     _suite_rows(result, per_app, 2)
@@ -283,11 +326,16 @@ def fig18(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig18(result: FigureResult) -> None:
+    assert result.summary["psp"] > result.summary["cwsp"], (
+        "losing the DRAM cache must cost more than cWSP's persistence"
+    )
+
+
 # ----------------------------------------------------------------------
 # Figure 19: region characteristics
 # ----------------------------------------------------------------------
-def fig19(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig19(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     result = FigureResult(
         "Figure 19",
@@ -297,7 +345,7 @@ def fig19(n_insts: int = 50_000) -> FigureResult:
     )
     vals = []
     for app in ALL_APPS:
-        ipr = runner.stats(app, cwsp(), machine, "pruned").insts_per_region
+        ipr = r.stats(app, cwsp(), machine, "pruned").insts_per_region
         vals.append(ipr)
         result.add(app, ipr)
     mean = sum(vals) / len(vals)
@@ -306,11 +354,14 @@ def fig19(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig19(result: FigureResult) -> None:
+    assert 10 < result.summary["mean_insts_per_region"] < 80, "regions are tens of insts"
+
+
 # ----------------------------------------------------------------------
 # Figure 20: deeper SRAM hierarchy (added L3)
 # ----------------------------------------------------------------------
-def fig20(n_insts: int = 50_000) -> FigureResult:
-    runner = Runner(n_insts)
+def _fig20(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     l3_machine = replace(
         machine,
@@ -328,7 +379,7 @@ def fig20(n_insts: int = 50_000) -> FigureResult:
     )
     per_app: Dict[str, List[float]] = {}
     for app in ALL_APPS:
-        s = runner.slowdown(app, cwsp(), l3_machine)
+        s = r.slowdown(app, cwsp(), l3_machine)
         per_app[app] = [s]
         result.add(app, s)
     _suite_rows(result, per_app, 1)
@@ -336,16 +387,20 @@ def fig20(n_insts: int = 50_000) -> FigureResult:
     return result
 
 
+def _check_fig20(result: FigureResult) -> None:
+    assert result.summary["all_gmean"] >= 1.0
+
+
 # ----------------------------------------------------------------------
 # Sweeps: Figures 21-27
 # ----------------------------------------------------------------------
 def _sweep(
+    r: Resolver,
     name: str,
     description: str,
     paper_says: str,
     configs: Sequence,
     labels: Sequence[str],
-    n_insts: int,
     instrument: str = "pruned",
     scheme_factory=cwsp,
     per_config_baseline: bool = False,
@@ -360,13 +415,12 @@ def _sweep(
     (Figure 27's "cWSP benefits less from faster NVM than the
     baseline" effect depends on it).
     """
-    runner = Runner(n_insts)
     base_machine = skylake_machine(scaled=True)
     result = FigureResult(name, description, ["suite"] + list(labels), paper_says=paper_says)
     per_app: Dict[str, List[float]] = {}
     for app in ALL_APPS:
         per_app[app] = [
-            runner.slowdown(
+            r.slowdown(
                 app,
                 scheme_factory(),
                 m,
@@ -381,150 +435,181 @@ def _sweep(
     return result
 
 
-def fig21(n_insts: int = 50_000) -> FigureResult:
+def _fig21(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     bands = (1.0, 2.0, 4.0, 10.0, 20.0, 32.0)
     configs = [_ideal_pipeline(machine, bw) if bw > 8 else replace(machine, persist_bw_gbps=bw) for bw in bands]
     return _sweep(
+        r,
         "Figure 21",
         "cWSP slowdown vs persist path bandwidth",
         "overhead falls with bandwidth; flat beyond 10GB/s (8-byte granularity)",
         configs,
         [f"{int(b)}GB" for b in bands],
-        n_insts,
     )
 
 
-def fig22(n_insts: int = 50_000) -> FigureResult:
+def _check_fig21(result: FigureResult) -> None:
+    assert result.summary["1GB"] >= result.summary["32GB"] * 0.99, (
+        "more persist bandwidth never hurts"
+    )
+
+
+def _fig22(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     sizes = (8, 16, 32)
     return _sweep(
+        r,
         "Figure 22",
         "cWSP slowdown vs RBT size",
         "11% at RBT-8 (SPLASH3 up to 20%), 6% at 16, 4% at 32",
         [replace(machine, rbt_entries=s) for s in sizes],
         [f"RBT-{s}" for s in sizes],
-        n_insts,
     )
 
 
-def fig23(n_insts: int = 50_000) -> FigureResult:
+def _check_fig22(result: FigureResult) -> None:
+    assert result.summary["RBT-8"] >= result.summary["RBT-32"] * 0.98, (
+        "a smaller RBT is never faster"
+    )
+
+
+def _fig23(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     lats = (10.0, 20.0, 30.0, 40.0)
     return _sweep(
+        r,
         "Figure 23",
         "cWSP slowdown vs persist path latency",
         "nearly flat: the RBT overlaps the path latency with execution",
         [replace(machine, persist_lat_ns=l) for l in lats],
         [f"Lat-{int(l)}" for l in lats],
-        n_insts,
     )
 
 
-def fig24(n_insts: int = 50_000) -> FigureResult:
+def _check_fig23(result: FigureResult) -> None:
+    assert all(v < 1.3 for v in result.summary.values()), "latency sweep stays flat"
+
+
+def _fig24(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     sizes = (8, 16, 32)
     return _sweep(
+        r,
         "Figure 24",
         "cWSP slowdown vs L1D write-buffer size",
         "flat regardless of WB size (persist path outruns the regular path)",
         [replace(machine, wb_entries=s) for s in sizes],
         [f"WB-{s}" for s in sizes],
-        n_insts,
     )
 
 
-def fig25(n_insts: int = 50_000) -> FigureResult:
+def _check_fig24(result: FigureResult) -> None:
+    assert abs(result.summary["WB-8"] - result.summary["WB-32"]) < 0.05, "WB sweep flat"
+
+
+def _fig25(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     sizes = (20, 40, 50, 60)
     return _sweep(
+        r,
         "Figure 25",
         "cWSP slowdown vs persist buffer (PB) size",
         "insensitive; at PB-20 the overhead rises to only ~7%",
         [replace(machine, pb_entries=s) for s in sizes],
         [f"PB-{s}" for s in sizes],
-        n_insts,
     )
 
 
-def fig26(n_insts: int = 50_000) -> FigureResult:
+def _check_fig25(result: FigureResult) -> None:
+    assert list(result.summary) == ["PB-20", "PB-40", "PB-50", "PB-60"]
+
+
+def _fig26(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     sizes = (8, 16, 24, 32)
     return _sweep(
+        r,
         "Figure 26",
         "cWSP slowdown vs NVM WPQ size",
         "11% at WPQ-8 (SPLASH3 up to 31%); flat at 24 and beyond",
         [replace(machine, wpq_entries=s) for s in sizes],
         [f"WPQ-{s}" for s in sizes],
-        n_insts,
     )
 
 
-def fig27(n_insts: int = 50_000) -> FigureResult:
+def _check_fig26(result: FigureResult) -> None:
+    assert result.summary["WPQ-8"] >= result.summary["WPQ-32"] * 0.98, (
+        "a smaller WPQ is never faster"
+    )
+
+
+def _fig27(r: Resolver, ctx: PlanContext) -> FigureResult:
     machine = skylake_machine(scaled=True)
     techs = ("PMEM", "STTRAM", "ReRAM")
     return _sweep(
+        r,
         "Figure 27",
         "cWSP slowdown vs NVM technology (each normalized to its own baseline)",
         "low (<=8%) on all; marginally higher relative overhead on faster NVM",
         [replace(machine, nvm=NVM_TECHS[t]) for t in techs],
         techs,
-        n_insts,
         per_config_baseline=True,
     )
+
+
+def _check_fig27(result: FigureResult) -> None:
+    assert all(v >= 0.98 for v in result.summary.values()), "overhead never negative"
 
 
 # ----------------------------------------------------------------------
 # Multicore: 8 cores sharing LLC/MCs (the paper's FS-mode setup for the
 # multithreaded suites)
 # ----------------------------------------------------------------------
-def multicore(n_insts: int = 20_000, n_cores: int = 8) -> FigureResult:
-    """cWSP overhead with 8 threads contending for the MCs and WPQs."""
-    from repro.arch.multicore import simulate_multicore
-    from repro.workloads.profiles import apps_in_suite
-    from repro.workloads.synthetic import generate_trace, prime_ranges
+def _multicore_build(n_cores: int):
+    def build(r: Resolver, ctx: PlanContext) -> FigureResult:
+        """cWSP overhead with *n_cores* threads contending for MCs/WPQs."""
+        from repro.workloads.profiles import apps_in_suite
 
-    machine = skylake_machine(scaled=True)
-    result = FigureResult(
-        "Multicore",
-        f"{n_cores}-core cWSP slowdown (shared LLC/WPQ/NVM bandwidth)",
-        ["workload", "1-core", f"{n_cores}-core"],
-        paper_says="the multithreaded suites (SPLASH3/WHISPER/STAMP) run on 8 cores; "
-        "MC speculation keeps boundary stalls away despite contention",
-    )
-    rows = {}
-    for suite in ("SPLASH3", "WHISPER", "STAMP"):
-        apps = apps_in_suite(suite)
-        profiles = [PROFILES[apps[i % len(apps)]] for i in range(n_cores)]
-        base_traces = [
-            generate_trace(p, n_insts, seed=i) for i, p in enumerate(profiles)
-        ]
-        cwsp_traces = [
-            generate_trace(p, n_insts, seed=i, instrument="pruned")
-            for i, p in enumerate(profiles)
-        ]
-        prime = [r for p in profiles for r in prime_ranges(p)]
-        single = (
-            simulate_multicore(cwsp_traces[:1], machine, cwsp(), prime=prime).cycles
-            / simulate_multicore(base_traces[:1], machine, baseline(), prime=prime).cycles
+        machine = skylake_machine(scaled=True)
+        result = FigureResult(
+            "Multicore",
+            f"{n_cores}-core cWSP slowdown (shared LLC/WPQ/NVM bandwidth)",
+            ["workload", "1-core", f"{n_cores}-core"],
+            paper_says="the multithreaded suites (SPLASH3/WHISPER/STAMP) run on 8 cores; "
+            "MC speculation keeps boundary stalls away despite contention",
         )
-        multi = (
-            simulate_multicore(cwsp_traces, machine, cwsp(), n_cores, prime=prime).cycles
-            / simulate_multicore(base_traces, machine, baseline(), n_cores, prime=prime).cycles
-        )
-        rows[suite] = (single, multi)
-        result.add(suite, single, multi)
-    result.summary = {
-        "gmean_1core": gmean(v[0] for v in rows.values()),
-        f"gmean_{n_cores}core": gmean(v[1] for v in rows.values()),
-    }
-    return result
+        rows = {}
+        for suite in ("SPLASH3", "WHISPER", "STAMP"):
+            apps = apps_in_suite(suite)
+            mix = tuple(apps[i % len(apps)] for i in range(n_cores))
+            single = (
+                r.multicore(mix[:1], cwsp(), machine, "pruned", prime_apps=mix).cycles
+                / r.multicore(mix[:1], baseline(), machine, None, prime_apps=mix).cycles
+            )
+            multi = (
+                r.multicore(mix, cwsp(), machine, "pruned").cycles
+                / r.multicore(mix, baseline(), machine, None).cycles
+            )
+            rows[suite] = (single, multi)
+            result.add(suite, single, multi)
+        result.summary = {
+            "gmean_1core": gmean(v[0] for v in rows.values()),
+            f"gmean_{n_cores}core": gmean(v[1] for v in rows.values()),
+        }
+        return result
+
+    return build
+
+
+def _check_multicore(result: FigureResult) -> None:
+    assert [row[0] for row in result.rows] == ["SPLASH3", "WHISPER", "STAMP"]
 
 
 # ----------------------------------------------------------------------
 # Section IX-N: hardware overhead
 # ----------------------------------------------------------------------
-def hardware_overhead(n_insts: int = 0) -> FigureResult:
+def _hardware_overhead(r: Resolver, ctx: PlanContext) -> FigureResult:
     """The 176-byte RBT storage cost (Section IX-N)."""
     result = FigureResult(
         "Section IX-N",
@@ -542,13 +627,17 @@ def hardware_overhead(n_insts: int = 0) -> FigureResult:
     return result
 
 
+def _check_hw(result: FigureResult) -> None:
+    assert result.summary["rbt_bytes"] == 176.0
+
+
 # ----------------------------------------------------------------------
 # Extra experiment: recovery correctness and cost (the paper's gap)
 # ----------------------------------------------------------------------
 def recovery_check(stride: int = 5) -> FigureResult:
     """Inject power failures into compiled IR kernels and verify recovery."""
     from repro.compiler import compile_module
-    from repro.recovery import PersistenceConfig, check_crash_consistency
+    from repro.recovery import check_crash_consistency
     from repro.workloads.programs import build_kernel, KERNELS
 
     result = FigureResult(
@@ -575,7 +664,11 @@ def recovery_check(stride: int = 5) -> FigureResult:
     return result
 
 
-def faults_campaign(n_insts: int = 0) -> FigureResult:
+def _check_recovery(result: FigureResult) -> None:
+    assert result.summary["divergences"] == 0.0, "every injected failure must recover"
+
+
+def faults_campaign() -> FigureResult:
     """A small seeded adversarial fault campaign (beyond the paper).
 
     Nested crashes, torn persists, corrupted logs/checkpoints, and
@@ -597,7 +690,132 @@ def faults_campaign(n_insts: int = 0) -> FigureResult:
     return campaign_result(run_campaign(spec))
 
 
-ALL_EXPERIMENTS = {
+def _check_faults(result: FigureResult) -> None:
+    assert result.summary["divergent"] == 0.0, "no silent divergences allowed"
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+def multicore_spec(n_cores: int = 8) -> ExperimentSpec:
+    return ExperimentSpec(
+        "multicore",
+        f"{n_cores}-core cWSP slowdown",
+        _multicore_build(n_cores),
+        default_n_insts=20_000,
+        check=_check_multicore,
+    )
+
+
+SPECS: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in [
+        ExperimentSpec("fig01", "CXL PMEM vs DRAM, 2-5 cache levels", _fig01, check=_check_fig01),
+        ExperimentSpec("fig06", "L1D write-buffer occupancy", _fig06, check=_check_fig06),
+        ExperimentSpec("fig08", "WPQ load hits per 1M insts", _fig08, check=_check_fig08),
+        ExperimentSpec("fig13", "cWSP headline slowdown", _fig13, check=_check_fig13),
+        ExperimentSpec("fig14", "cWSP vs ReplayCache vs Capri", _fig14, check=_check_fig14),
+        ExperimentSpec("fig15", "cumulative optimization ladder", _fig15, check=_check_fig15),
+        ExperimentSpec("tab01", "CXL device parameters", _tab01, simulates=False, check=_check_tab01),
+        ExperimentSpec("fig17", "cWSP on CXL devices", _fig17, check=_check_fig17),
+        ExperimentSpec("fig18", "cWSP vs ideal PSP", _fig18, check=_check_fig18),
+        ExperimentSpec("fig19", "instructions per region", _fig19, check=_check_fig19),
+        ExperimentSpec("fig20", "cWSP with added L3", _fig20, check=_check_fig20),
+        ExperimentSpec("fig21", "persist-path bandwidth sweep", _fig21, check=_check_fig21),
+        ExperimentSpec("fig22", "RBT size sweep", _fig22, check=_check_fig22),
+        ExperimentSpec("fig23", "persist-path latency sweep", _fig23, check=_check_fig23),
+        ExperimentSpec("fig24", "write-buffer size sweep", _fig24, check=_check_fig24),
+        ExperimentSpec("fig25", "persist-buffer size sweep", _fig25, check=_check_fig25),
+        ExperimentSpec("fig26", "WPQ size sweep", _fig26, check=_check_fig26),
+        ExperimentSpec("fig27", "NVM technology sweep", _fig27, check=_check_fig27),
+        ExperimentSpec("hw", "hardware storage overhead", _hardware_overhead, simulates=False, check=_check_hw),
+        multicore_spec(8),
+        ExperimentSpec(
+            "recovery", "crash-recovery checker",
+            lambda r, ctx: recovery_check(), simulates=False, check=_check_recovery,
+        ),
+        ExperimentSpec(
+            "faults", "adversarial fault campaign",
+            lambda r, ctx: faults_campaign(), simulates=False, check=_check_faults,
+        ),
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# In-process engine shared by direct calls and the benchmark suite
+# ----------------------------------------------------------------------
+_shared_engine: Optional[Engine] = None
+
+
+def shared_engine() -> Engine:
+    """Process-wide engine with an in-memory cache (no disk traffic)."""
+    global _shared_engine
+    if _shared_engine is None:
+        _shared_engine = Engine(jobs=1)
+    return _shared_engine
+
+
+def run_experiment(
+    name: str,
+    n_insts: Optional[int] = None,
+    engine: Optional[Engine] = None,
+    spec: Optional[ExperimentSpec] = None,
+) -> FigureResult:
+    """Run one registered experiment (or an explicit *spec*) by name."""
+    if spec is None:
+        try:
+            spec = SPECS[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from {list(SPECS)}"
+            ) from None
+    eng = engine if engine is not None else shared_engine()
+    return eng.run_one(spec.with_n_insts(n_insts))
+
+
+# Historical per-figure callables: ``fig13(n_insts=3000)`` etc.  They
+# share the process-wide engine, so repeated calls (and the benchmark
+# suite) reuse each other's deduplicated points.
+def _entry(name: str):
+    def run(n_insts: Optional[int] = None) -> FigureResult:
+        return run_experiment(name, n_insts=n_insts)
+
+    run.__name__ = run.__qualname__ = name
+    run.__doc__ = f"Regenerate {SPECS[name].title} ({SPECS[name].name})."
+    run.spec = SPECS[name]
+    return run
+
+
+fig01 = _entry("fig01")
+fig06 = _entry("fig06")
+fig08 = _entry("fig08")
+fig13 = _entry("fig13")
+fig14 = _entry("fig14")
+fig15 = _entry("fig15")
+tab01 = _entry("tab01")
+fig17 = _entry("fig17")
+fig18 = _entry("fig18")
+fig19 = _entry("fig19")
+fig20 = _entry("fig20")
+fig21 = _entry("fig21")
+fig22 = _entry("fig22")
+fig23 = _entry("fig23")
+fig24 = _entry("fig24")
+fig25 = _entry("fig25")
+fig26 = _entry("fig26")
+fig27 = _entry("fig27")
+hardware_overhead = _entry("hw")
+
+
+def multicore(n_insts: Optional[int] = None, n_cores: int = 8) -> FigureResult:
+    """cWSP overhead with *n_cores* threads contending for MCs and WPQs."""
+    return run_experiment("multicore", n_insts=n_insts, spec=multicore_spec(n_cores))
+
+
+multicore.spec = SPECS["multicore"]
+
+ALL_EXPERIMENTS: Dict[str, object] = {
     "fig01": fig01,
     "fig06": fig06,
     "fig08": fig08,
@@ -624,18 +842,10 @@ ALL_EXPERIMENTS = {
 
 
 def main(argv: Optional[List[str]] = None) -> None:
-    import sys
+    """Back-compat alias for the harness CLI (``python -m repro.harness``)."""
+    from repro.harness.cli import main as cli_main
 
-    names = (argv if argv is not None else sys.argv[1:]) or list(ALL_EXPERIMENTS)
-    for name in names:
-        fn = ALL_EXPERIMENTS.get(name)
-        if fn is None:
-            raise SystemExit(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
-        result = fn()
-        print(result.format_table())
-        if result.paper_says:
-            print(f"(paper: {result.paper_says})")
-        print()
+    cli_main(argv)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,130 @@
+"""The mergeable metric records backing SimStats."""
+
+import pytest
+
+from repro.arch.metrics import Counter, Gauge, MetricSet, Ratio, TimeWeighted
+
+
+class TestRecords:
+    def test_counter_merges_by_sum(self):
+        a, b = Counter(), Counter()
+        a.value, b.value = 3, 4
+        a.merge(b)
+        assert a.value == 7 and a.scalar() == 7.0
+
+    def test_gauge_merges_by_max(self):
+        a, b = Gauge(), Gauge()
+        a.value, b.value = 100.0, 250.0
+        a.merge(b)
+        assert a.value == 250.0  # makespan semantics
+
+    def test_time_weighted_mean(self):
+        t = TimeWeighted()
+        t.integral, t.time = 30.0, 10.0
+        assert t.scalar() == pytest.approx(3.0)
+        other = TimeWeighted()
+        other.integral, other.time = 10.0, 10.0
+        t.merge(other)
+        assert t.scalar() == pytest.approx(2.0)  # (30+10)/(10+10)
+
+    def test_ratio(self):
+        r = Ratio()
+        r.num, r.den = 1, 4
+        assert r.scalar() == pytest.approx(0.25)
+        assert Ratio().scalar() == 0.0  # empty denominator
+
+    def test_dump_load_roundtrip(self):
+        c = Counter(3.0)
+        g = Gauge(9.0)
+        t = TimeWeighted(4.0, 2.0)
+        r = Ratio(1.0, 2.0)
+        for rec in (c, g, t, r):
+            back = type(rec).load(rec.dump())
+            assert back.dump() == rec.dump()
+            assert back.scalar() == rec.scalar()
+
+
+class TestMetricSet:
+    def test_get_or_create(self):
+        m = MetricSet()
+        c = m.counter("core.insts")
+        c.value += 5
+        assert m.counter("core.insts") is c
+        assert m.value("core.insts") == 5.0
+
+    def test_kind_collision_rejected(self):
+        m = MetricSet()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_value_default_for_missing(self):
+        assert MetricSet().value("nope") == 0.0
+        assert MetricSet().value("nope", default=1.5) == 1.5
+
+    def test_merge_disjoint_and_shared(self):
+        a, b = MetricSet(), MetricSet()
+        a.counter("n").value = 1
+        b.counter("n").value = 2
+        b.counter("only_b").value = 7
+        a.merge(b)
+        assert a.value("n") == 3.0 and a.value("only_b") == 7.0
+
+    def test_serialization_roundtrip(self):
+        m = MetricSet()
+        m.counter("c").value = 3
+        m.gauge("g").value = 9.5
+        tw = m.time_weighted("t")
+        tw.integral, tw.time = 4.0, 2.0
+        r = m.ratio("r")
+        r.num, r.den = 1, 2
+        back = MetricSet.from_dict(m.to_dict())
+        assert sorted(back.names()) == ["c", "g", "r", "t"]
+        for name in back.names():
+            assert back.value(name) == pytest.approx(m.value(name))
+
+
+class TestSimStatsFacade:
+    """The flat legacy attribute names stay readable over the spine."""
+
+    def test_views_track_metrics(self):
+        from repro.arch.machine import SimStats
+
+        s = SimStats("cWSP")
+        s.metrics.counter("core.insts").value = 1000
+        s.metrics.gauge("core.cycles").value = 500.0
+        assert s.insts == 1000 and isinstance(s.insts, int)
+        assert s.cycles == 500.0
+        assert s.ipc == pytest.approx(2.0)
+
+    def test_merge_and_roundtrip(self):
+        from repro.arch.machine import SimStats
+
+        a, b = SimStats("x"), SimStats("x")
+        a.metrics.counter("core.insts").value = 10
+        b.metrics.counter("core.insts").value = 20
+        a.merge(b)
+        assert a.insts == 30
+        back = SimStats.from_dict(a.to_dict())
+        assert back.insts == 30 and back.scheme == "x"
+
+    def test_simulation_populates_spine(self):
+        from repro.arch import simulate, skylake_machine
+        from repro.schemes import cwsp
+        from repro.workloads.profiles import PROFILES
+        from repro.workloads.synthetic import generate_trace, prime_ranges
+
+        profile = PROFILES["namd"]
+        trace = generate_trace(profile, 2000, 1, instrument="pruned")
+        stats = simulate(
+            trace, skylake_machine(scaled=True), cwsp(), prime=prime_ranges(profile)
+        )
+        m = stats.metrics
+        assert m.value("core.insts") > 0
+        assert m.value("core.cycles") > 0
+        assert "cache.l1.miss_rate" in m
+        assert "wb.mean_occupancy" in m
+        assert "wpq.pushes" in m
+        # the facade agrees with the spine
+        assert stats.insts == int(m.value("core.insts"))
+        assert stats.l1_miss_rate == pytest.approx(m.value("cache.l1.miss_rate"))

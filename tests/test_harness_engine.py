@@ -1,0 +1,213 @@
+"""The experiment engine: planning, dedup, caching, parallel fan-out."""
+
+import json
+
+import pytest
+
+from repro.arch import skylake_machine
+from repro.harness.engine import (
+    Engine,
+    MemoryCache,
+    NullCache,
+    ResultCache,
+    code_salt,
+    compute_point,
+    parallel_map,
+    point_cache_key,
+)
+from repro.harness.report import FigureResult
+from repro.harness.spec import (
+    ExperimentSpec,
+    PlanContext,
+    ResolvedResolver,
+    ShapeError,
+    SimPoint,
+)
+from repro.schemes import baseline, cwsp
+
+N = 2000
+
+
+def _spec(name, apps, scheme_factory=cwsp, check=None):
+    """A minimal slowdown experiment over *apps*."""
+
+    def build(r, ctx):
+        result = FigureResult(name, "test experiment", ["app", "slowdown"])
+        for app in apps:
+            result.add(app, r.slowdown(app, scheme_factory(), skylake_machine(scaled=True)))
+        result.summary = {"n": float(len(apps))}
+        return result
+
+    return ExperimentSpec(name, name, build, default_n_insts=N, check=check)
+
+
+class CountingCache(MemoryCache):
+    """MemoryCache that counts lookups and stores."""
+
+    def __init__(self):
+        super().__init__()
+        self.gets = 0
+        self.puts = 0
+
+    def get(self, key):
+        self.gets += 1
+        return super().get(key)
+
+    def put(self, key, point, stats):
+        self.puts += 1
+        super().put(key, point, stats)
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        p = SimPoint("namd", cwsp(), skylake_machine(scaled=True), "pruned", N, 1)
+        assert point_cache_key(p) == point_cache_key(p)
+
+    def test_sensitive_to_every_point_field(self):
+        m = skylake_machine(scaled=True)
+        base = SimPoint("namd", cwsp(), m, "pruned", N, 1)
+        variants = [
+            SimPoint("lbm", cwsp(), m, "pruned", N, 1),
+            SimPoint("namd", baseline(), m, "pruned", N, 1),
+            SimPoint("namd", cwsp(), m, None, N, 1),
+            SimPoint("namd", cwsp(), m, "pruned", N + 1, 1),
+            SimPoint("namd", cwsp(), m, "pruned", N, 2),
+        ]
+        keys = {point_cache_key(p) for p in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_salt_invalidates(self):
+        p = SimPoint("namd", cwsp(), skylake_machine(scaled=True), "pruned", N, 1)
+        assert point_cache_key(p, salt="a") != point_cache_key(p, salt="b")
+        assert point_cache_key(p) == point_cache_key(p, salt=code_salt())
+
+
+class TestDedupAndCache:
+    def test_shared_points_execute_exactly_once(self):
+        # Both specs need cwsp+baseline for "namd"; spec_b adds one app.
+        cache = CountingCache()
+        eng = Engine(cache=cache)
+        eng.run([_spec("a", ["namd"]), _spec("b", ["namd", "lbm"])])
+        # 2 apps x (baseline, cwsp) = 4 deduplicated points, each
+        # simulated exactly once despite "namd" appearing in both specs.
+        assert eng.last_run.planned == 4
+        assert eng.last_run.executed == 4
+        assert cache.puts == 4
+
+    def test_warm_rerun_does_zero_simulations(self):
+        cache = CountingCache()
+        eng = Engine(cache=cache)
+        first = eng.run_one(_spec("a", ["namd", "lbm"]))
+        assert eng.last_run.executed == 4
+        again = eng.run_one(_spec("a", ["namd", "lbm"]))
+        assert eng.last_run.executed == 0
+        assert eng.last_run.cached == 4
+        assert cache.puts == 4  # nothing new stored
+        assert again.rows == first.rows
+
+    def test_disk_cache_warm_across_engines(self, tmp_path):
+        spec = _spec("a", ["namd"])
+        e1 = Engine(cache=ResultCache(str(tmp_path)))
+        r1 = e1.run_one(spec)
+        assert e1.last_run.executed == 2
+        e2 = Engine(cache=ResultCache(str(tmp_path)))
+        r2 = e2.run_one(spec)
+        assert e2.last_run.executed == 0
+        assert r2.rows == r1.rows
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        spec = _spec("a", ["namd"])
+        e1 = Engine(cache=ResultCache(str(tmp_path)))
+        e1.run_one(spec)
+        for path in tmp_path.rglob("*.json"):
+            path.write_text("{torn")
+        e2 = Engine(cache=ResultCache(str(tmp_path)))
+        e2.run_one(spec)
+        assert e2.last_run.executed == 2  # recomputed, not crashed
+
+    def test_code_salt_change_invalidates(self, tmp_path):
+        spec = _spec("a", ["namd"])
+        e1 = Engine(cache=ResultCache(str(tmp_path)), salt="v1")
+        e1.run_one(spec)
+        e2 = Engine(cache=ResultCache(str(tmp_path)), salt="v2")
+        e2.run_one(spec)
+        assert e2.last_run.executed == 2  # different salt: full recompute
+        e3 = Engine(cache=ResultCache(str(tmp_path)), salt="v1")
+        e3.run_one(spec)
+        assert e3.last_run.executed == 0
+
+    def test_null_cache_always_executes(self):
+        eng = Engine(cache=NullCache())
+        spec = _spec("a", ["namd"])
+        eng.run_one(spec)
+        assert eng.last_run.executed == 2
+        eng.run_one(spec)
+        assert eng.last_run.executed == 2
+
+    def test_cache_entry_records_point_provenance(self, tmp_path):
+        eng = Engine(cache=ResultCache(str(tmp_path)))
+        eng.run_one(_spec("a", ["namd"]))
+        entries = list(tmp_path.rglob("*.json"))
+        assert len(entries) == 2
+        payload = json.loads(entries[0].read_text())
+        assert payload["kind"] == "SimPoint"
+        assert payload["point"]["app"] == "namd"
+        assert "stats" in payload
+
+
+class TestParallelism:
+    def test_jobs2_matches_jobs1(self):
+        spec = _spec("a", ["namd", "lbm", "milc"])
+        r1 = Engine(jobs=1, cache=NullCache()).run_one(spec)
+        r2 = Engine(jobs=2, cache=NullCache()).run_one(spec)
+        assert r1.rows == r2.rows
+
+    def test_parallel_map_inline_and_pool(self):
+        tasks = list(range(7))
+        assert parallel_map(_square, tasks, jobs=1) == [x * x for x in tasks]
+        assert parallel_map(_square, tasks, jobs=2) == [x * x for x in tasks]
+        assert sorted(parallel_map(_square, tasks, jobs=2, ordered=False)) == sorted(
+            x * x for x in tasks
+        )
+
+
+def _square(x):
+    return x * x
+
+
+class TestEngineSemantics:
+    def test_seed_propagates_into_points(self):
+        eng = Engine(seed=7)
+        points = _spec("a", ["namd"]).plan(eng.context_for(_spec("a", ["namd"])))
+        assert all(p.seed == 7 for p in points)
+
+    def test_n_insts_override(self):
+        eng = Engine(n_insts=1234)
+        spec = _spec("a", ["namd"])
+        points = spec.plan(eng.context_for(spec))
+        assert all(p.n_insts == 1234 for p in points)
+
+    def test_seeds_change_results(self):
+        p1 = SimPoint("namd", cwsp(), skylake_machine(scaled=True), "pruned", N, 1)
+        p2 = SimPoint("namd", cwsp(), skylake_machine(scaled=True), "pruned", N, 2)
+        assert compute_point(p1).cycles != compute_point(p2).cycles
+
+    def test_shape_violation_raises(self):
+        def bad_check(result):
+            assert False, "deliberately broken"
+
+        eng = Engine()
+        with pytest.raises(ShapeError, match="deliberately broken"):
+            eng.run_one(_spec("a", ["namd"], check=bad_check))
+
+    def test_unplanned_point_rejected(self):
+        resolver = ResolvedResolver(PlanContext(n_insts=N), {})
+        with pytest.raises(RuntimeError, match="not planned"):
+            resolver.stats("namd", cwsp(), skylake_machine(scaled=True))
+
+    def test_provenance_records_schemes(self):
+        eng = Engine()
+        eng.run_one(_spec("a", ["namd"]))
+        prov = eng.provenance["a"]
+        assert set(prov) == {"baseline", "cwsp"}
+        assert prov["cwsp"]["persist_bytes"] == 8

@@ -1,0 +1,74 @@
+"""Report formatting: tables, CSV, and campaign-artifact rendering."""
+
+import pytest
+
+from repro.harness.report import FigureResult, campaign_result, format_table
+
+
+class TestFormatTable:
+    def test_floats_render_three_places(self):
+        text = format_table(["app", "x"], [["a", 1.5]])
+        assert "1.500" in text
+
+    def test_column_widths_fit_longest_cell(self):
+        text = format_table(["h", "value"], [["a-much-longer-name", 1.0]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_mixed_alignment(self):
+        text = format_table(["name", "v"], [["left", 2.0]])
+        row = text.splitlines()[-1]
+        assert row.startswith("left") and row.endswith("2.000")
+
+    def test_empty_rows_render_headers(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFigureResult:
+    def test_format_table_includes_title_and_summary(self):
+        r = FigureResult("Fig X", "desc", ["app", "v"], summary={"g": 1.25})
+        r.add("a", 1.0)
+        text = r.format_table()
+        assert text.startswith("Fig X: desc")
+        assert "g=1.250" in text
+
+    def test_csv_roundtrip(self):
+        r = FigureResult("F", "d", ["app", "v"])
+        r.add("a", 1.5)
+        lines = r.to_csv().strip().splitlines()
+        assert lines[0] == "app,v"
+        assert lines[1] == "a,1.5"
+
+    def test_column_lookup(self):
+        r = FigureResult("F", "d", ["app", "v"])
+        r.add("a", 1.0)
+        r.add("b", 2.0)
+        assert r.column("v") == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            r.column("nope")
+
+
+class TestCampaignResult:
+    def _artifact(self, divergent=0):
+        return {
+            "meta": {"seed": 9},
+            "totals": {"trials": 5, "divergent": divergent, "error": 0, "degraded": 1},
+            "per_kernel": {
+                "counter": {
+                    "torn": {"trials": 5, "ok": 4 - divergent, "completed": 0,
+                             "degraded": 1, "divergent": divergent, "error": 0},
+                },
+            },
+        }
+
+    def test_clean_campaign_summary(self):
+        r = campaign_result(self._artifact())
+        assert "all consistent-or-degraded" in r.description
+        assert r.summary["divergent"] == 0.0
+        assert r.rows == [["counter", "torn", 5, 4, 1, 0]]
+
+    def test_divergences_surface_in_description(self):
+        r = campaign_result(self._artifact(divergent=2))
+        assert "2 DIVERGENCES" in r.description
+        assert r.summary["divergent"] == 2.0
