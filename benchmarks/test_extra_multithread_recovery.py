@@ -1,9 +1,8 @@
 """Extra experiment: multi-threaded recovery sweep (Section VIII)."""
 
-import pytest
 
 from repro.compiler import compile_module
-from repro.recovery.multithread import ThreadSpec, check_threaded_crash_consistency
+from repro.recovery.multithread import check_threaded_crash_consistency
 from tests.test_recovery_multithread import THREADS, build_drf_module
 
 

@@ -1,7 +1,6 @@
 """Figure 13: the headline result -- cWSP's normalized slowdown."""
 
 from repro.harness.figures import fig13
-from repro.workloads.profiles import PROFILES
 
 N = 15_000
 

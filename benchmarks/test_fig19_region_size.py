@@ -1,7 +1,7 @@
 """Figure 19: average dynamic instructions per idempotent region."""
 
 from repro.harness.figures import fig19
-from repro.workloads.profiles import PROFILES, apps_in_suite
+from repro.workloads.profiles import apps_in_suite
 
 N = 15_000
 

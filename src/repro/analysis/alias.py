@@ -31,13 +31,12 @@ from repro.ir.instructions import (
     AtomicRMW,
     BinOp,
     Call,
-    Checkpoint,
     Const,
     Instr,
     Load,
     Store,
 )
-from repro.ir.values import Imm, Reg
+from repro.ir.values import Reg
 
 TOP_SITE = "top"
 #: Lattice bottom: "no value yet on this path" during the fixpoint.

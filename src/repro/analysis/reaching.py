@@ -11,7 +11,7 @@ parameters are pseudo-definitions with id ``("param", reg_name)``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple, Union
+from typing import Dict, FrozenSet, Tuple, Union
 
 from repro.analysis.cfg import CFG
 from repro.ir.function import Function

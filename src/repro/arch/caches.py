@@ -42,27 +42,36 @@ class SetAssocCache:
     def access(self, line_addr: int, is_write: bool) -> Tuple[bool, Optional[Tuple[int, bool]]]:
         """Access a line; returns (hit, evicted) where evicted is
         (line_addr, dirty) of a victim line or None."""
-        index = line_addr % self.n_sets
-        tag = line_addr // self.n_sets
-        self._tick += 1
+        n_sets = self.n_sets
+        index = line_addr % n_sets
+        tag = line_addr // n_sets
+        tick = self._tick + 1
+        self._tick = tick
         ways = self.sets.get(index)
         if ways is None:
-            ways = {}
-            self.sets[index] = ways
+            ways = self.sets[index] = {}
         entry = ways.get(tag)
         if entry is not None:
             self.hits += 1
-            entry[0] = self._tick
+            entry[0] = tick
             if is_write:
                 entry[1] = True
             return True, None
         self.misses += 1
         evicted = None
         if len(ways) >= self.ways:
-            victim_tag = min(ways, key=lambda t: ways[t][0])
+            # First-minimum LRU scan: same victim as min(key=...) but
+            # without a lambda frame per candidate (hot path).
+            victim_tag = None
+            victim_tick = tick  # every resident tick is strictly older
+            for t, e in ways.items():
+                et = e[0]
+                if et < victim_tick:
+                    victim_tick = et
+                    victim_tag = t
             victim = ways.pop(victim_tag)
-            evicted = (victim_tag * self.n_sets + index, victim[1])
-        ways[tag] = [self._tick, is_write]
+            evicted = (victim_tag * n_sets + index, victim[1])
+        ways[tag] = [tick, is_write]
         return False, evicted
 
     def invalidate(self, line_addr: int) -> None:
@@ -131,28 +140,49 @@ class CacheHierarchy:
         self.line_bits = self.levels[0].line_bits
 
     def access(self, addr: int, is_write: bool):
+        # L1 is unrolled: the common case is a hit in the first level,
+        # which returns before any lower-level state is touched.  The
+        # simulator's fused loop probes L1 inline and calls miss()
+        # directly, so the split below is the single walk definition.
         line = addr >> self.line_bits
-        latency = 0.0
-        l1_evicted = None
+        l1 = self.levels[0]
+        hit, evicted = l1.access(line, is_write)
+        if hit:
+            return l1.hit_latency, False, None, None
+        l1_evicted = evicted[0] if evicted is not None and evicted[1] else None
+        latency, reached_nvm, llc_evicted = self.miss(line, is_write)
+        return latency, reached_nvm, l1_evicted, llc_evicted
+
+    def miss(self, line: int, is_write: bool, start: int = 1):
+        """Walk the levels from *start* down after a miss above it.
+
+        Returns ``(latency, reached_nvm, llc_evicted)`` with the same
+        meanings as :meth:`access` (the caller tracks the L1 victim).
+        The simulator's fused loop probes L1 -- and L2, when the
+        geometry allows -- inline and enters the walk at the first
+        level it did not unroll.
+        """
+        levels = self.levels
+        latency = levels[start - 1].hit_latency
+        dram = self.dram
+        last = len(levels) - 1
         llc_evicted = None
-        for i, level in enumerate(self.levels):
+        for i in range(start, last + 1):
+            level = levels[i]
             latency = level.hit_latency
             hit, evicted = level.access(line, is_write)
-            if i == 0 and evicted is not None and evicted[1]:
-                l1_evicted = evicted[0]
-            elif i == len(self.levels) - 1 and self.dram is None:
-                if evicted is not None and evicted[1]:
-                    llc_evicted = evicted[0]
+            if i == last and dram is None and evicted is not None and evicted[1]:
+                llc_evicted = evicted[0]
             if hit:
-                return latency, False, l1_evicted, llc_evicted
-        if self.dram is not None:
-            latency += self.dram.hit_latency
-            hit, evicted = self.dram.access(line, is_write)
+                return latency, False, llc_evicted
+        if dram is not None:
+            latency += dram.hit_latency
+            hit, evicted = dram.access(line, is_write)
             if evicted is not None and evicted[1]:
                 llc_evicted = evicted[0]
             if hit:
-                return latency, False, l1_evicted, llc_evicted
-        return latency, True, l1_evicted, llc_evicted
+                return latency, False, llc_evicted
+        return latency, True, llc_evicted
 
     def prime(self, ranges) -> None:
         """Warm the hierarchy with address ranges, smallest first.

@@ -13,7 +13,7 @@ Numbers come from the paper's Section IX and Table I:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 

@@ -30,6 +30,7 @@ from repro.arch.config import MachineConfig
 from repro.arch.metrics import MetricSet
 from repro.arch.queues import CompletionQueue
 from repro.arch.scheme import Scheme
+from repro.arch.trace import PackedTrace
 
 Event = Tuple  # (code,) or (code, addr)
 
@@ -159,6 +160,36 @@ class TimingSimulator:
         self._line_bits = self.hier.line_bits
         self._extra_store_cost = scheme.extra_insts_per_store * self._commit_cost
         self._extra_region_cost = scheme.extra_insts_per_region * self._commit_cost
+        # Derived constants shared by the per-event methods and the
+        # fused packed-trace loop (same multiplications, done once).
+        self._media_cost = self._nvm_write_bytes * self._nvm_cpb
+        self._llc_wb_cost = 64 * self._nvm_cpb
+        self._l2_lat = machine.caches[min(1, len(machine.caches) - 1)].hit_latency
+        self._interleave = machine.interleave
+        self._mc_count = machine.mc_count
+        # The fused packed loop replaces //, % with shifts and masks,
+        # which is only exact when the geometry is a power of two (it
+        # always is for the shipped configs); otherwise packed traces
+        # fall back to the per-event reference loop.
+        l1 = self.hier.levels[0]
+        levels = self.hier.levels
+        self._packed_fast = (
+            l1.n_sets & (l1.n_sets - 1) == 0
+            and l1.n_sets <= 65536
+            and machine.interleave & (machine.interleave - 1) == 0
+            and machine.mc_count & (machine.mc_count - 1) == 0
+            and (len(levels) < 2 or levels[1].n_sets & (levels[1].n_sets - 1) == 0)
+        )
+        if self._packed_fast:
+            self._l1_idx_mask = l1.n_sets - 1
+            self._l1_tag_shift = l1.n_sets.bit_length() - 1
+            self._mc_shift = machine.interleave.bit_length() - 1
+            self._mc_mask = machine.mc_count - 1
+            # Pre-create the L1 set dicts so the hot loop indexes them
+            # directly (presence of empty sets is invisible to
+            # results; the reference path creates them lazily).
+            for i in range(l1.n_sets):
+                l1.sets.setdefault(i, {})
         self.stats = SimStats(scheme=scheme.name)
         # Core-owned records, bound once for the hot loop.
         m = self.stats.metrics
@@ -175,29 +206,472 @@ class TimingSimulator:
 
     # ------------------------------------------------------------------
     def run(self, events: Iterable[Event]) -> SimStats:
+        """Commit an event stream and finalize the stats.
+
+        Packed traces take the fused hot loop; anything iterable of
+        legacy tuples takes the per-event reference loop.  Both paths
+        are value-identical by contract (tests/test_golden_identity.py
+        pins the byte-for-byte stats; test_arch_trace pins packed ==
+        legacy on the same stream).
+        """
+        if isinstance(events, PackedTrace) and self._packed_fast:
+            self._run_packed(events)
+        else:
+            self._run_events(events)
+        return self.finalize()
+
+    def _run_events(self, events: Iterable[Event]) -> None:
+        """Reference loop: one dispatch per legacy event tuple.
+
+        This is the semantic definition the fused loop must match; the
+        multicore stepper calls the same per-event methods directly.
+        """
         c_insts = self._c_insts
+        commit_cost = self._commit_cost
+        load = self._load
+        store = self._store
+        boundary = self._boundary
+        sync = self._sync
         for ev in events:
             code = ev[0]
-            self.cycle += self._commit_cost
+            self.cycle += commit_cost
             c_insts.value += 1
             if code == "a":
                 continue
             if code == "l":
-                self._load(ev[1])
+                load(ev[1])
             elif code == "s":
-                self._store(ev[1], is_ckpt=False)
+                store(ev[1], is_ckpt=False)
             elif code == "c":
-                self._store(ev[1], is_ckpt=True)
+                store(ev[1], is_ckpt=True)
             elif code == "b":
-                self._boundary()
+                boundary()
             elif code == "f":
-                self._sync()
+                sync()
             elif code == "x":
-                self._store(ev[1], is_ckpt=False)
-                self._sync()
+                store(ev[1], is_ckpt=False)
+                sync()
             else:  # pragma: no cover - generator bug guard
                 raise ValueError(f"unknown event code {code!r}")
-        return self.finalize()
+
+    def _run_packed(self, trace: PackedTrace) -> None:
+        """Fused hot loop over a :class:`PackedTrace`.
+
+        The ``a``/``l``/``s``/``c`` cases (the bulk of every stream)
+        are inlined from :meth:`_load`/:meth:`_store`/:meth:`_persist`/
+        :meth:`_evictions` with all hot state held in locals; the rare
+        ``b``/``f``/``x`` cases sync state back to ``self``, call the
+        reference methods, and reload.  See DESIGN.md ("Hot-loop
+        optimization invariants") for what this loop may and may not
+        reorder -- every float operation below happens in the same
+        order, on the same values, as in the reference methods.
+        """
+        # -- constants ------------------------------------------------
+        commit_cost = self._commit_cost
+        l1_lat = self._l1_lat
+        l2_lat = self._l2_lat
+        mlp = self._mlp
+        path_send = self._path_send_cycles
+        path_lat = self._path_lat
+        mc_extra = self._mc_extra
+        nvm_read_cyc = self._nvm_read_cyc
+        media = self._media_cost
+        llc_wb_cost = self._llc_wb_cost
+        wpq_drain = self._wpq_drain_overhead
+        line_bits = self._line_bits
+        extra_store_cost = self._extra_store_cost
+        scheme = self.scheme
+        persist_stores = scheme.persist_stores
+        persist_bytes = scheme.persist_bytes
+        coalesce = scheme.coalesce_lines
+        wpq_delay_on = persist_stores and scheme.wpq_load_delay
+        wb_delay_on = persist_stores and scheme.wb_delay
+        # -- bound callables / shared containers ----------------------
+        hier_miss = self.hier.miss
+        l1 = self.hier.levels[0]
+        l1_sets = l1.sets
+        l1_nsets = l1.n_sets
+        l1_ways_cap = l1.ways
+        l1_idx_mask = self._l1_idx_mask
+        l1_tag_shift = self._l1_tag_shift
+        # Sets are pre-created when _packed_fast, so a list view gives
+        # C-array indexing; the dicts themselves are never replaced.
+        l1_setlist = [l1_sets[i] for i in range(l1_nsets)]
+        levels = self.hier.levels
+        multi_level = len(levels) > 1
+        if multi_level:
+            l2 = levels[1]
+            l2_sets = l2.sets
+            l2_nsets = l2.n_sets
+            l2_ways_cap = l2.ways
+            l2_hit_lat = l2.hit_latency
+            l2_idx_mask = l2_nsets - 1
+            l2_tag_shift = l2_nsets.bit_length() - 1
+            llc_from_l2 = len(levels) == 2 and self.hier.dram is None
+        mc_shift = self._mc_shift
+        mc_mask = self._mc_mask
+        wb = self.wb
+        wb_entries = wb.entries
+        wb_capacity = wb.capacity
+        wb_admit = wb.admit
+        pb = self.pb
+        pb_entries = pb.entries
+        pb_capacity = pb.capacity
+        pb_admit = pb.admit
+        wpq = self.wpq
+        wpq_capacity = wpq[0].capacity
+        nvm_free = self.nvm_free
+        line_persist_time = self.line_persist_time
+        wpq_word_done = self.wpq_word_done
+        region_lines = self._region_lines
+        # -- mutable scalars, localized -------------------------------
+        cycle = self.cycle
+        path_free = self.path_free
+        region_last_persist = self.region_last_persist
+        l1_tick = l1._tick
+        l1_hits = l1.hits
+        l1_misses = l1.misses
+        n_nvm_reads = 0
+        n_nvm_writes = 0
+        n_path_bytes = 0
+        n_wb_delays = 0
+        n_wpq_hits = 0
+
+        for code, addr in zip(trace.codes, trace.addrs):
+            cycle += commit_cost
+            if code == "a":
+                continue
+            if code == "l":
+                # ---- inlined _load (L1 probe unrolled) --------------
+                l1_tick += 1
+                l1_line = addr >> line_bits
+                index = l1_line & l1_idx_mask
+                tag = l1_line >> l1_tag_shift
+                ways = l1_setlist[index]
+                entry = ways.get(tag)
+                if entry is not None:
+                    # L1 hit: zero penalty, no evictions, next event.
+                    l1_hits += 1
+                    entry[0] = l1_tick
+                    continue
+                l1_misses += 1
+                if len(ways) >= l1_ways_cap:
+                    victim_tag = None
+                    victim_tick = l1_tick
+                    for t, e in ways.items():
+                        et = e[0]
+                        if et < victim_tick:
+                            victim_tick = et
+                            victim_tag = t
+                    victim = ways.pop(victim_tag)
+                    l1_ev = victim_tag * l1_nsets + index if victim[1] else None
+                else:
+                    l1_ev = None
+                ways[tag] = [l1_tick, False]
+                # ---- inlined L2 probe (walk resumes at level 2) -----
+                if multi_level:
+                    l2._tick = l2_tick = l2._tick + 1
+                    index2 = l1_line & l2_idx_mask
+                    tag2 = l1_line >> l2_tag_shift
+                    ways2 = l2_sets.get(index2)
+                    if ways2 is None:
+                        ways2 = l2_sets[index2] = {}
+                    entry2 = ways2.get(tag2)
+                    if entry2 is not None:
+                        l2.hits += 1
+                        entry2[0] = l2_tick
+                        latency = l2_hit_lat
+                        to_nvm = False
+                        llc_ev = None
+                    else:
+                        l2.misses += 1
+                        if len(ways2) >= l2_ways_cap:
+                            victim_tag = None
+                            victim_tick = l2_tick
+                            for t, e in ways2.items():
+                                et = e[0]
+                                if et < victim_tick:
+                                    victim_tick = et
+                                    victim_tag = t
+                            victim = ways2.pop(victim_tag)
+                            llc2 = (
+                                victim_tag * l2_nsets + index2
+                                if llc_from_l2 and victim[1]
+                                else None
+                            )
+                        else:
+                            llc2 = None
+                        ways2[tag2] = [l2_tick, False]
+                        latency, to_nvm, llc_ev = hier_miss(l1_line, False, 2)
+                        if llc_from_l2:
+                            llc_ev = llc2
+                else:
+                    latency, to_nvm, llc_ev = hier_miss(l1_line, False)
+                penalty = latency - l1_lat
+                if to_nvm:
+                    mc = (addr >> mc_shift) & mc_mask
+                    penalty += nvm_read_cyc + mc_extra[mc]
+                    n_nvm_reads += 1
+                    if wpq_delay_on:
+                        done = wpq_word_done[mc].get(addr >> 3)
+                        if done is not None and done > cycle + penalty:
+                            n_wpq_hits += 1
+                            penalty = done - cycle
+                if penalty > 0:
+                    cycle += penalty * mlp
+                # ---- inlined _evictions (load path) -----------------
+                if l1_ev is not None:
+                    # wb.admit(cycle), advance unrolled (full WB is
+                    # rare and delegates to the reference method).
+                    last = wb._last_t
+                    occ = wb.occ_integral
+                    while wb_entries and wb_entries[0] <= cycle:
+                        t = wb_entries.popleft()
+                        if t > last:
+                            occ += (len(wb_entries) + 1) * (t - last)
+                            last = t
+                    if cycle > last:
+                        occ += len(wb_entries) * (cycle - last)
+                        last = cycle
+                    wb._last_t = last
+                    wb.occ_integral = occ
+                    if len(wb_entries) >= wb_capacity:
+                        cycle = wb_admit(cycle)
+                    drain = cycle + l2_lat
+                    if wb_delay_on:
+                        persist = line_persist_time.get(l1_ev, 0.0)
+                        if persist > drain:
+                            drain = persist
+                            n_wb_delays += 1
+                    wb.pushes += 1
+                    if wb_entries and drain < wb_entries[-1]:
+                        wb_entries.append(wb_entries[-1])
+                    else:
+                        wb_entries.append(drain)
+                if llc_ev is not None and not persist_stores:
+                    mc = ((llc_ev << line_bits) >> mc_shift) & mc_mask
+                    free = nvm_free[mc]
+                    start = cycle if cycle > free else free
+                    nvm_free[mc] = start + llc_wb_cost
+                    n_nvm_writes += 1
+            elif code == "s" or code == "c":
+                # ---- inlined _store ('c' is a store: is_ckpt is
+                # latency-neutral in the reference method) ------------
+                if extra_store_cost:
+                    cycle += extra_store_cost
+                l1_tick += 1
+                l1_line = addr >> line_bits
+                index = l1_line & l1_idx_mask
+                tag = l1_line >> l1_tag_shift
+                ways = l1_setlist[index]
+                entry = ways.get(tag)
+                if entry is not None:
+                    l1_hits += 1
+                    entry[0] = l1_tick
+                    entry[1] = True
+                else:
+                    l1_misses += 1
+                    if len(ways) >= l1_ways_cap:
+                        victim_tag = None
+                        victim_tick = l1_tick
+                        for t, e in ways.items():
+                            et = e[0]
+                            if et < victim_tick:
+                                victim_tick = et
+                                victim_tag = t
+                        victim = ways.pop(victim_tag)
+                        l1_ev = victim_tag * l1_nsets + index if victim[1] else None
+                    else:
+                        l1_ev = None
+                    ways[tag] = [l1_tick, True]
+                    # ---- inlined L2 probe (store miss) --------------
+                    if multi_level:
+                        l2._tick = l2_tick = l2._tick + 1
+                        index2 = l1_line & l2_idx_mask
+                        tag2 = l1_line >> l2_tag_shift
+                        ways2 = l2_sets.get(index2)
+                        if ways2 is None:
+                            ways2 = l2_sets[index2] = {}
+                        entry2 = ways2.get(tag2)
+                        if entry2 is not None:
+                            l2.hits += 1
+                            entry2[0] = l2_tick
+                            entry2[1] = True
+                            llc_ev = None
+                        else:
+                            l2.misses += 1
+                            if len(ways2) >= l2_ways_cap:
+                                victim_tag = None
+                                victim_tick = l2_tick
+                                for t, e in ways2.items():
+                                    et = e[0]
+                                    if et < victim_tick:
+                                        victim_tick = et
+                                        victim_tag = t
+                                victim = ways2.pop(victim_tag)
+                                llc2 = (
+                                    victim_tag * l2_nsets + index2
+                                    if llc_from_l2 and victim[1]
+                                    else None
+                                )
+                            else:
+                                llc2 = None
+                            ways2[tag2] = [l2_tick, True]
+                            _, _, llc_ev = hier_miss(l1_line, True, 2)
+                            if llc_from_l2:
+                                llc_ev = llc2
+                    else:
+                        _, _, llc_ev = hier_miss(l1_line, True)
+                    # ---- inlined _evictions (store-miss path) -------
+                    if l1_ev is not None:
+                        last = wb._last_t
+                        occ = wb.occ_integral
+                        while wb_entries and wb_entries[0] <= cycle:
+                            t = wb_entries.popleft()
+                            if t > last:
+                                occ += (len(wb_entries) + 1) * (t - last)
+                                last = t
+                        if cycle > last:
+                            occ += len(wb_entries) * (cycle - last)
+                            last = cycle
+                        wb._last_t = last
+                        wb.occ_integral = occ
+                        if len(wb_entries) >= wb_capacity:
+                            cycle = wb_admit(cycle)
+                        drain = cycle + l2_lat
+                        if wb_delay_on:
+                            persist = line_persist_time.get(l1_ev, 0.0)
+                            if persist > drain:
+                                drain = persist
+                                n_wb_delays += 1
+                        wb.pushes += 1
+                        if wb_entries and drain < wb_entries[-1]:
+                            wb_entries.append(wb_entries[-1])
+                        else:
+                            wb_entries.append(drain)
+                    if llc_ev is not None and not persist_stores:
+                        mc = ((llc_ev << line_bits) >> mc_shift) & mc_mask
+                        free = nvm_free[mc]
+                        start = cycle if cycle > free else free
+                        nvm_free[mc] = start + llc_wb_cost
+                        n_nvm_writes += 1
+                if not persist_stores:
+                    continue
+                # ---- inlined _persist -------------------------------
+                if coalesce:
+                    if l1_line in region_lines:
+                        continue  # merged into the buffered dirty line
+                    region_lines.add(l1_line)
+                # pb.admit(cycle), advance unrolled (full PB is rare
+                # and delegates to the reference method).
+                last = pb._last_t
+                occ = pb.occ_integral
+                while pb_entries and pb_entries[0] <= cycle:
+                    t = pb_entries.popleft()
+                    if t > last:
+                        occ += (len(pb_entries) + 1) * (t - last)
+                        last = t
+                if cycle > last:
+                    occ += len(pb_entries) * (cycle - last)
+                    last = cycle
+                pb._last_t = last
+                pb.occ_integral = occ
+                if len(pb_entries) >= pb_capacity:
+                    cycle = pb_admit(cycle)
+                send = cycle if cycle > path_free else path_free
+                path_free = send + path_send
+                mc = (addr >> mc_shift) & mc_mask
+                arrive = send + path_lat + mc_extra[mc]
+                # wpq[mc].admit(arrive), same unrolling.
+                q = wpq[mc]
+                we = q.entries
+                last = q._last_t
+                occ = q.occ_integral
+                while we and we[0] <= arrive:
+                    t = we.popleft()
+                    if t > last:
+                        occ += (len(we) + 1) * (t - last)
+                        last = t
+                if arrive > last:
+                    occ += len(we) * (arrive - last)
+                    last = arrive
+                q._last_t = last
+                q.occ_integral = occ
+                if len(we) >= wpq_capacity:
+                    admitted = q.admit(arrive)
+                else:
+                    admitted = arrive
+                free = nvm_free[mc]
+                start = admitted if admitted > free else free
+                nvm_free[mc] = start + media
+                drain_done = start + media + wpq_drain
+                # wpq[mc].push(drain_done) / pb.push(admitted): FIFO
+                # completion clamp, counted on the queue objects.
+                q.pushes += 1
+                if we and drain_done < we[-1]:
+                    we.append(we[-1])
+                else:
+                    we.append(drain_done)
+                pb.pushes += 1
+                if pb_entries and admitted < pb_entries[-1]:
+                    pb_entries.append(pb_entries[-1])
+                else:
+                    pb_entries.append(admitted)
+                if admitted > region_last_persist:
+                    region_last_persist = admitted
+                if admitted > line_persist_time.get(l1_line, 0.0):
+                    line_persist_time[l1_line] = admitted
+                words = wpq_word_done[mc]
+                words[addr >> 3] = drain_done
+                if len(words) > 8192:
+                    wpq_word_done[mc] = {w: t for w, t in words.items() if t > cycle}
+                n_path_bytes += persist_bytes
+                n_nvm_writes += 1
+            elif code == "b" or code == "f" or code == "x":
+                # Rare events: run through the reference methods.
+                self.cycle = cycle
+                self.path_free = path_free
+                self.region_last_persist = region_last_persist
+                l1._tick = l1_tick
+                l1.hits = l1_hits
+                l1.misses = l1_misses
+                if code == "b":
+                    self._boundary()
+                elif code == "f":
+                    self._sync()
+                else:
+                    self._store(addr, is_ckpt=False)
+                    self._sync()
+                cycle = self.cycle
+                path_free = self.path_free
+                region_last_persist = self.region_last_persist
+                l1_tick = l1._tick
+                l1_hits = l1.hits
+                l1_misses = l1.misses
+            else:  # pragma: no cover - generator bug guard
+                raise ValueError(f"unknown event code {code!r}")
+
+        # -- write the localized state back ---------------------------
+        self.cycle = cycle
+        self.path_free = path_free
+        self.region_last_persist = region_last_persist
+        l1._tick = l1_tick
+        l1.hits = l1_hits
+        l1.misses = l1_misses
+        # Counter flushes are integer-valued additions: exact in float
+        # (well below 2^53), so batching them preserves value identity.
+        # Event-class totals come from C-speed counts over the code
+        # string -- the loop never increments them (rare-path methods
+        # update their own counters directly and are not re-counted).
+        codes = trace.codes
+        self._c_insts.value += len(codes)
+        self._c_loads.value += codes.count("l")
+        self._c_stores.value += codes.count("s") + codes.count("c")
+        self._c_nvm_reads.value += n_nvm_reads
+        self._c_nvm_writes.value += n_nvm_writes
+        self._c_path_bytes.value += n_path_bytes
+        self._c_wb_delays.value += n_wb_delays
+        self._c_wpq_hits.value += n_wpq_hits
 
     def finalize(self, shared_owner: bool = True) -> SimStats:
         """Drain outstanding persists and collect component metrics.
@@ -226,7 +700,7 @@ class TimingSimulator:
         latency, to_nvm, l1_ev, llc_ev = self.hier.access(addr, False)
         penalty = latency - self._l1_lat
         if to_nvm:
-            mc = self.machine.mc_of(addr)
+            mc = (addr // self._interleave) % self._mc_count
             penalty += self._nvm_read_cyc + self._mc_extra[mc]
             self._c_nvm_reads.value += 1
             if self.scheme.persist_stores and self.scheme.wpq_load_delay:
@@ -259,7 +733,7 @@ class TimingSimulator:
         self.cycle = self.pb.admit(self.cycle)
         send = self.cycle if self.cycle > self.path_free else self.path_free
         self.path_free = send + self._path_send_cycles
-        mc = self.machine.mc_of(addr)
+        mc = (addr // self._interleave) % self._mc_count
         arrive = send + self._path_lat + self._mc_extra[mc]
         # WPQ admission: the entry waits in-path while the WPQ is full.
         admitted = self.wpq[mc].admit(arrive)
@@ -268,7 +742,7 @@ class TimingSimulator:
         # an entry leaves the WPQ at handoff-bandwidth pace, not after
         # the full media write latency.
         start = admitted if admitted > self.nvm_free[mc] else self.nvm_free[mc]
-        media = self._nvm_write_bytes * self._nvm_cpb
+        media = self._media_cost
         self.nvm_free[mc] = start + media
         drain_done = start + media + self._wpq_drain_overhead
         self.wpq[mc].push(drain_done)
@@ -294,7 +768,7 @@ class TimingSimulator:
             # Dirty L1 line enters the WB; its drain to L2 is delayed
             # while a matching PB entry is in flight (stale-read fix).
             self.cycle = self.wb.admit(self.cycle)
-            drain = self.cycle + self.machine.caches[min(1, len(self.machine.caches) - 1)].hit_latency
+            drain = self.cycle + self._l2_lat
             if self.scheme.persist_stores and self.scheme.wb_delay:
                 persist = self.line_persist_time.get(l1_ev, 0.0)
                 if persist > drain:
@@ -306,9 +780,9 @@ class TimingSimulator:
                 # cWSP-style schemes drop dirty LLC evictions: the
                 # persist path already delivered the data to NVM.
                 return
-            mc = self.machine.mc_of(llc_ev << self._line_bits)
+            mc = ((llc_ev << self._line_bits) // self._interleave) % self._mc_count
             start = max(self.cycle, self.nvm_free[mc])
-            self.nvm_free[mc] = start + 64 * self._nvm_cpb
+            self.nvm_free[mc] = start + self._llc_wb_cost
             self._c_nvm_writes.value += 1
 
     def _boundary(self) -> None:

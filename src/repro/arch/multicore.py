@@ -29,7 +29,6 @@ from repro.arch.caches import CacheHierarchy
 from repro.arch.config import MachineConfig
 from repro.arch.machine import Event, SimStats, TimingSimulator
 from repro.arch.metrics import MetricSet
-from repro.arch.queues import CompletionQueue
 from repro.arch.scheme import Scheme
 
 

@@ -1,0 +1,81 @@
+"""Batched event-stream representation for the simulator hot path.
+
+The historical trace format is one Python tuple per committed
+instruction -- ``("l", addr)`` and friends -- which costs an object
+allocation per instruction at generation time and an index per field
+at consumption time.  A :class:`PackedTrace` stores the same stream as
+two parallel batches: a ``str`` of event codes and a list of operand
+addresses (0 for code-only events).  ``TimingSimulator.run`` consumes
+it with a fused ``zip`` loop (CPython reuses the result tuple, so the
+per-event allocation disappears), and the workload generators emit it
+directly without materializing per-instruction objects.
+
+A packed trace iterates as the legacy tuples, so every consumer that
+only walks events (fault injectors, the multicore stepper, tests)
+accepts either representation; :meth:`to_events`/:meth:`from_events`
+convert explicitly.  The two representations are *value-identical* by
+contract: simulating either form of the same stream must produce
+byte-identical stats (pinned by tests/test_golden_identity.py).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+Event = Tuple
+
+#: Event codes that carry no address payload.
+CODES_NO_ADDR = frozenset("abf")
+#: Event codes that carry an address payload.
+CODES_WITH_ADDR = frozenset("lscx")
+#: All valid event codes.
+CODES = CODES_NO_ADDR | CODES_WITH_ADDR
+
+
+class PackedTrace:
+    """An event stream as parallel code/address batches."""
+
+    __slots__ = ("codes", "addrs")
+
+    def __init__(self, codes: str, addrs: List[int]) -> None:
+        if len(codes) != len(addrs):
+            raise ValueError(
+                f"codes/addrs length mismatch: {len(codes)} != {len(addrs)}"
+            )
+        self.codes = codes
+        self.addrs = addrs
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Yield legacy per-event tuples (compatibility path)."""
+        no_addr = CODES_NO_ADDR
+        for code, addr in zip(self.codes, self.addrs):
+            yield (code,) if code in no_addr else (code, addr)
+
+    def __getitem__(self, i: int) -> Event:
+        code = self.codes[i]
+        return (code,) if code in CODES_NO_ADDR else (code, self.addrs[i])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PackedTrace):
+            return self.codes == other.codes and self.addrs == other.addrs
+        return NotImplemented
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "PackedTrace":
+        codes: List[str] = []
+        addrs: List[int] = []
+        cappend = codes.append
+        aappend = addrs.append
+        for ev in events:
+            cappend(ev[0])
+            aappend(ev[1] if len(ev) > 1 else 0)
+        return cls("".join(codes), addrs)
+
+    def to_events(self) -> List[Event]:
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedTrace({len(self.codes)} events)"

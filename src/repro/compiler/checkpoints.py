@@ -19,7 +19,7 @@ from typing import List, Set, Tuple
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
 from repro.ir.function import Function
-from repro.ir.instructions import Boundary, Checkpoint, Instr
+from repro.ir.instructions import Boundary, Checkpoint
 from repro.ir.values import Reg
 
 

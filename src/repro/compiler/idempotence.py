@@ -15,9 +15,8 @@ model pre-instrumented kernel services.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.compiler.regions import find_antidependent_stores
 from repro.ir.function import Module

@@ -23,7 +23,7 @@ definition is checkpointed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
@@ -31,7 +31,7 @@ from repro.analysis.reaching import DefId, ReachingDefs
 from repro.compiler.recovery_slice import RecoverySlice, RSOp
 from repro.ir.function import Function, Module
 from repro.ir.instructions import BinOp, Boundary, Checkpoint, Const, Instr
-from repro.ir.values import Imm, Reg, to_s64
+from repro.ir.values import Reg, to_s64
 
 _MAX_SLICE_OPS = 24
 _MAX_DEPTH = 8

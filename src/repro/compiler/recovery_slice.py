@@ -15,7 +15,7 @@ A slice is a short straight-line program over three op kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Tuple
 
 from repro.ir.interpreter import CKPT_BASE, Memory, eval_binop
 from repro.ir.function import Module

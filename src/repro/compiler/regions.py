@@ -16,7 +16,7 @@ Two steps, following De Kruijf et al.'s algorithm as the paper does:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set
 
 from repro.analysis.alias import AliasAnalysis, Location
 from repro.analysis.cfg import CFG
@@ -28,7 +28,6 @@ from repro.ir.instructions import (
     Call,
     Checkpoint,
     Fence,
-    Instr,
     Load,
     Store,
 )

@@ -8,11 +8,11 @@ the compiled IR and dynamically over an interpreted run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.ir.function import Function, Module
-from repro.ir.instructions import Boundary, Checkpoint, Instr, Store
+from repro.ir.instructions import Boundary, Checkpoint, Store
 from repro.ir.interpreter import Interpreter, TraceEvent
 
 

@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="FILE.pstats",
+        help="run under cProfile and write pstats data to FILE.pstats "
+        "(inspect with: python -m pstats FILE.pstats)",
+    )
     return parser
 
 
@@ -104,9 +109,21 @@ def main(argv: Optional[List[str]] = None) -> None:
         jobs=args.jobs, cache=cache, seed=args.seed, n_insts=args.n_insts
     )
     t0 = time.time()
-    results = engine.run(
-        [SPECS[n] for n in names], progress=lambda msg: print(msg, flush=True)
-    )
+
+    def run():
+        return engine.run(
+            [SPECS[n] for n in names], progress=lambda msg: print(msg, flush=True)
+        )
+
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        results = profiler.runcall(run)
+        profiler.dump_stats(args.profile)
+        print(f"wrote profile to {args.profile}", flush=True)
+    else:
+        results = run()
     elapsed = time.time() - t0
 
     out_dir = Path(args.out) if args.out else None

@@ -30,10 +30,11 @@ import json
 import multiprocessing
 import os
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.machine import SimStats, simulate
 from repro.arch.multicore import simulate_multicore
+from repro.perf.timers import PhaseTimer
 from repro.harness.report import FigureResult
 from repro.harness.spec import (
     ExperimentSpec,
@@ -41,7 +42,6 @@ from repro.harness.spec import (
     PlanContext,
     Point,
     ResolvedResolver,
-    SimPoint,
     validate_result,
 )
 from repro.workloads.profiles import PROFILES
@@ -108,8 +108,10 @@ def compute_point(point: Point) -> SimStats:
         )
         return mstats.merged()
     profile = PROFILES[point.app]
+    # Packed traces feed the simulator's batched fast path; the result
+    # is value-identical to the legacy tuple list (golden-pinned).
     trace = generate_trace(
-        profile, point.n_insts, point.seed, instrument=point.instrument
+        profile, point.n_insts, point.seed, instrument=point.instrument, packed=True
     )
     return simulate(trace, point.machine, point.scheme, prime=prime_ranges(profile))
 
@@ -208,12 +210,19 @@ class RunInfo:
     planned: int = 0
     executed: int = 0
     cached: int = 0
+    #: Wall-clock seconds per engine phase (plan/cache/simulate/reduce),
+    #: measured with :class:`repro.perf.timers.PhaseTimer`.
+    phase_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def describe(self) -> str:
         return (
             f"{self.planned} deduplicated points: {self.cached} cached, "
             f"{self.executed} simulated"
         )
+
+    def describe_phases(self) -> str:
+        parts = [f"{name} {sec:.2f}s" for name, sec in self.phase_seconds.items()]
+        return ", ".join(parts)
 
 
 class Engine:
@@ -255,47 +264,54 @@ class Engine:
         at most once ever with a persistent cache.
         """
         say = progress if progress is not None else lambda _msg: None
+        timer = PhaseTimer()
 
         # Phase 1: plan the union grid.
-        points: Dict[Point, None] = {}
-        for spec in specs:
-            for point in spec.plan(self.context_for(spec)):
-                points.setdefault(point, None)
+        with timer.phase("plan"):
+            points: Dict[Point, None] = {}
+            for spec in specs:
+                for point in spec.plan(self.context_for(spec)):
+                    points.setdefault(point, None)
 
         # Phase 2: split cache hits from work.
-        resolved: Dict[Point, SimStats] = {}
-        misses: List[Tuple[str, Point]] = []
-        for point in points:
-            key = point_cache_key(point, self._salt)
-            hit = self.cache.get(key)
-            if hit is None:
-                misses.append((key, point))
-            else:
-                resolved[point] = hit
+        with timer.phase("cache"):
+            resolved: Dict[Point, SimStats] = {}
+            misses: List[Tuple[str, Point]] = []
+            for point in points:
+                key = point_cache_key(point, self._salt)
+                hit = self.cache.get(key)
+                if hit is None:
+                    misses.append((key, point))
+                else:
+                    resolved[point] = hit
         info = RunInfo(
             planned=len(points), executed=len(misses),
             cached=len(points) - len(misses),
+            phase_seconds=timer.seconds,
         )
         say(f"plan: {info.describe()} (jobs={self.jobs})")
 
         # Phase 3: fan misses out over the pool and backfill the cache.
-        computed = parallel_map(_execute_task, misses, jobs=self.jobs)
-        for (key, point), stats in zip(misses, computed):
-            self.cache.put(key, point, stats)
-            resolved[point] = stats
+        with timer.phase("simulate"):
+            computed = parallel_map(_execute_task, misses, jobs=self.jobs)
+            for (key, point), stats in zip(misses, computed):
+                self.cache.put(key, point, stats)
+                resolved[point] = stats
 
         # Phase 4: reduce every experiment and check its shape.
         results: Dict[str, FigureResult] = {}
-        for spec in specs:
-            resolver = ResolvedResolver(self.context_for(spec), resolved)
-            result = spec.build(resolver, self.context_for(spec))
-            validate_result(spec, result)
-            results[spec.name] = result
-            self.provenance[spec.name] = {
-                name: scheme.describe()
-                for name, scheme in sorted(resolver.schemes_seen.items())
-            }
-            say(f"done: {spec.name}")
+        with timer.phase("reduce"):
+            for spec in specs:
+                resolver = ResolvedResolver(self.context_for(spec), resolved)
+                result = spec.build(resolver, self.context_for(spec))
+                validate_result(spec, result)
+                results[spec.name] = result
+                self.provenance[spec.name] = {
+                    name: scheme.describe()
+                    for name, scheme in sorted(resolver.schemes_seen.items())
+                }
+                say(f"done: {spec.name}")
+        say(f"phases: {info.describe_phases()}")
         self.last_run = info
         return results
 

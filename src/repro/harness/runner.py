@@ -7,7 +7,7 @@ pays for it once.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.arch.config import MachineConfig
 from repro.arch.machine import SimStats, simulate

@@ -33,7 +33,7 @@ from repro.ir.instructions import (
     Ret,
     Store,
 )
-from repro.ir.values import Imm, Operand, Reg, as_operand
+from repro.ir.values import Imm, Reg, as_operand
 
 RegOrInt = Union[Reg, Imm, int]
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence
 
-from repro.ir.values import Imm, Operand, Reg
+from repro.ir.values import Operand, Reg
 
 #: Arithmetic / bitwise binary operators.
 BINARY_OPS = frozenset(

@@ -22,7 +22,7 @@ from repro.ir.instructions import (
     Ret,
     Store,
 )
-from repro.ir.values import Imm, Operand, Reg
+from repro.ir.values import Operand, Reg
 
 
 def _op(op: Operand) -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from repro.ir.function import Function, Module
-from repro.ir.instructions import Branch, Call, CondBranch, Instr, Ret
+from repro.ir.instructions import Branch, Call, CondBranch
 
 
 class VerificationError(ValueError):

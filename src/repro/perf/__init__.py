@@ -1,0 +1,16 @@
+"""Measured performance layer: benchmarks, timers, and the CI gate.
+
+``python -m repro.perf`` times named micro- and end-to-end benchmarks
+(events/sec through ``Machine.run``, queue ops/sec, warm vs. cold
+harness wall-clock), emits a machine-readable ``BENCH_PR4.json`` with
+git SHA and config provenance, and supports
+``--compare BASELINE.json --max-regress PCT`` for the CI perf gate.
+
+Only :mod:`repro.perf.timers` is imported eagerly -- it is dependency-
+free, so the harness engine can reuse the same clocks for its phase
+timings without import cycles.
+"""
+
+from repro.perf.timers import PhaseTimer, Stopwatch, best_of
+
+__all__ = ["PhaseTimer", "Stopwatch", "best_of"]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.perf``."""
+
+import sys
+
+from repro.perf.cli import main
+
+sys.exit(main())

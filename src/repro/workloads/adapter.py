@@ -1,44 +1,58 @@
-"""Adapter: IR interpreter traces -> timing-simulator event tuples.
+"""Adapter: IR interpreter traces -> timing-simulator event streams.
 
 Lets the real compiled IR kernels (linked list, b-tree, kmeans, ...)
-run through the same timing model as the synthetic profiles.
+run through the same timing model as the synthetic profiles.  Both
+entry points can emit either the legacy per-event tuple list or a
+:class:`~repro.arch.trace.PackedTrace` (``packed=True``), the
+simulator's batched fast-path representation; the two carry the
+identical stream.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
+from repro.arch.trace import PackedTrace
 from repro.ir.function import Module
 from repro.ir.interpreter import Interpreter, TraceEvent
 
 Event = Tuple
 
-_KIND_MAP = {
-    "alu": ("a",),
-    "out": ("a",),
-    "call": ("a",),
-    "icall": ("a",),
-    "ret": ("a",),
-    "boundary": ("b",),
-    "fence": ("f",),
+_CODE_MAP = {
+    "alu": "a",
+    "out": "a",
+    "call": "a",
+    "icall": "a",
+    "ret": "a",
+    "boundary": "b",
+    "fence": "f",
 }
 
 
-def events_from_ir_trace(trace: List[TraceEvent]) -> List[Event]:
-    """Convert interpreter events to timing-simulator tuples."""
-    out: List[Event] = []
-    append = out.append
+def events_from_ir_trace(
+    trace: List[TraceEvent], packed: bool = False
+) -> Union[List[Event], PackedTrace]:
+    """Convert interpreter events to a timing-simulator stream."""
+    codes: List[str] = []
+    addrs: List[int] = []
+    cappend = codes.append
+    aappend = addrs.append
     for ev in trace:
         kind = ev.kind
         if kind == "load":
-            append(("l", ev.addr))
+            cappend("l")
+            aappend(ev.addr)
         elif kind == "store":
-            append(("c", ev.addr) if ev.is_ckpt else ("s", ev.addr))
+            cappend("c" if ev.is_ckpt else "s")
+            aappend(ev.addr)
         elif kind == "atomic":
-            append(("x", ev.addr))
+            cappend("x")
+            aappend(ev.addr)
         else:
-            append(_KIND_MAP[kind])
-    return out
+            cappend(_CODE_MAP[kind])
+            aappend(0)
+    out = PackedTrace("".join(codes), addrs)
+    return out if packed else out.to_events()
 
 
 def trace_ir_program(
@@ -47,20 +61,29 @@ def trace_ir_program(
     args: Tuple[int, ...] = (),
     spill_args: bool = True,
     max_steps: int = 10_000_000,
-) -> List[Event]:
+    packed: bool = False,
+) -> Union[List[Event], PackedTrace]:
     """Interpret an IR program and return its timing-event stream."""
-    events: List[Event] = []
+    codes: List[str] = []
+    addrs: List[int] = []
+    cappend = codes.append
+    aappend = addrs.append
 
     def on_event(ev: TraceEvent) -> None:
         kind = ev.kind
         if kind == "load":
-            events.append(("l", ev.addr))
+            cappend("l")
+            aappend(ev.addr)
         elif kind == "store":
-            events.append(("c", ev.addr) if ev.is_ckpt else ("s", ev.addr))
+            cappend("c" if ev.is_ckpt else "s")
+            aappend(ev.addr)
         elif kind == "atomic":
-            events.append(("x", ev.addr))
+            cappend("x")
+            aappend(ev.addr)
         else:
-            events.append(_KIND_MAP[kind])
+            cappend(_CODE_MAP[kind])
+            aappend(0)
 
     Interpreter(module, spill_args=spill_args).run(entry, args, max_steps, on_event)
-    return events
+    out = PackedTrace("".join(codes), addrs)
+    return out if packed else out.to_events()

@@ -20,10 +20,11 @@ executions, so the harness warms the hierarchy with
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.arch.trace import PackedTrace
 from repro.workloads.profiles import AppProfile, CLASS_SIZES
 
 Event = Tuple
@@ -74,117 +75,145 @@ def generate_trace(
     n_insts: int = 100_000,
     seed: int = 0,
     instrument: Optional[str] = None,
-) -> List[Event]:
-    """Build the committed-event list for one application sample.
+    packed: bool = False,
+) -> Union[List[Event], PackedTrace]:
+    """Build the committed-event stream for one application sample.
 
     ``instrument`` is ``None`` (the original binary), ``"unpruned"``
     (region boundaries + pre-pruning checkpoint density), or
     ``"pruned"`` (the full cWSP compiler, Figure 15's last stage).
+
+    ``packed=True`` returns a :class:`~repro.arch.trace.PackedTrace`
+    (the simulator's batched fast path); the default returns the
+    legacy per-event tuple list.  Both carry the identical stream:
+    generation is a single fused pass that emits code/address batches
+    -- instrumentation is interleaved inline rather than a second
+    rewrite pass -- and every RNG draw happens in the same order, on
+    the same generator state, as the original two-pass pipeline.
     """
     if instrument not in (None, "unpruned", "pruned"):
         raise ValueError(f"bad instrument mode {instrument!r}")
     base = _app_base(profile.name)
     core_rng = np.random.default_rng(seed * 1_000_003 + 17)
 
-    op_r = core_rng.random(n_insts)
+    # Pre-drawn arrays, converted to Python lists once: per-index
+    # access in the hot loop then never touches numpy scalars (the
+    # float values are bit-identical either way).
+    op_r = core_rng.random(n_insts).tolist()
     load_cut = profile.load_frac
     store_cut = profile.load_frac + profile.store_frac
     atomic_p = profile.atomics_per_kinst / 1000.0
-    atomic_r = core_rng.random(n_insts) if atomic_p > 0 else None
+    atomic_r = core_rng.random(n_insts).tolist() if atomic_p > 0 else None
     lnames, lchoice = _class_sampler(profile.load_classes, core_rng, n_insts)
     snames, schoice = _class_sampler(profile.store_classes, core_rng, n_insts)
-    off_r = core_rng.random(n_insts)
-    jump_r = core_rng.random(n_insts)
-    burst_r = core_rng.random(n_insts) if profile.store_burst > 0 else None
-    burst_len_r = core_rng.geometric(1.0 / _BURST_MEAN_WORDS, size=max(1, n_insts // 4))
+    lchoice = lchoice.tolist()
+    schoice = schoice.tolist()
+    off_r = core_rng.random(n_insts).tolist()
+    jump_r = core_rng.random(n_insts).tolist()
+    burst_r = core_rng.random(n_insts).tolist() if profile.store_burst > 0 else None
+    burst_len_r = core_rng.geometric(
+        1.0 / _BURST_MEAN_WORDS, size=max(1, n_insts // 4)
+    ).tolist()
 
     # Per-class sequential sweep pointers (word offsets).
     sweep = {c: 0 for c in CLASS_SIZES}
     words = {c: s >> 3 for c, s in CLASS_SIZES.items()}
     class_base = {c: base + off for c, off in _CLASS_OFFSETS.items()}
     jump_frac = profile.jump_frac
+    store_burst = profile.store_burst
+    hot_base = class_base["hot"]
+    hot_words = words["hot"]
 
     stream_ptr = class_base["stream"]
     burst_left = 0
     burst_ptr = 0
     burst_idx = 0
+    n_burst_lens = len(burst_len_r)
 
-    events: List[Event] = []
-    append = events.append
+    # Instrumentation state: an independent RNG stream, modelling the
+    # compiled-with-cWSP binary.  Fused into the generation loop --
+    # each boundary decision happens just before its core event is
+    # appended, exactly where the old rewrite pass inserted it.
+    instrumenting = instrument is not None
+    if instrumenting:
+        irng = np.random.default_rng(seed * 7_000_037 + 23)
+        geometric = irng.geometric
+        ckpts_per_region = (
+            profile.ckpts_pruned if instrument == "pruned" else profile.ckpts_unpruned
+        )
+        ckpt_base = base + _CKPT_OFFSET
+        region_p = 1.0 / profile.region_len
+        region_left = int(geometric(region_p))
+        ckpt_accum = 0.0
+        slot = 0
 
-    def class_addr(cname: str, i: int) -> int:
-        if jump_r[i] < jump_frac:
-            off = int(off_r[i] * words[cname])
-            sweep[cname] = off
-        else:
-            off = sweep[cname] = (sweep[cname] + 1) % words[cname]
-        return class_base[cname] + (off << 3)
+    codes: List[str] = []
+    addrs: List[int] = []
+    cappend = codes.append
+    aappend = addrs.append
 
     for i in range(n_insts):
-        r = op_r[i]
         if atomic_r is not None and atomic_r[i] < atomic_p:
-            off = int(off_r[i] * words["hot"])
-            append(("x", class_base["hot"] + (off << 3)))
-            continue
-        if r < load_cut:
-            cname = lnames[lchoice[i]]
-            if cname == "stream":
-                stream_ptr += 8
-                append(("l", stream_ptr))
-            else:
-                append(("l", class_addr(cname, i)))
-        elif r < store_cut:
-            if burst_left > 0:
-                burst_left -= 1
-                burst_ptr += 8
-                append(("s", burst_ptr))
-                continue
-            if burst_r is not None and burst_r[i] < profile.store_burst:
-                burst_left = int(burst_len_r[burst_idx % len(burst_len_r)])
-                burst_idx += 1
-                stream_ptr += 8
-                burst_ptr = stream_ptr
-                stream_ptr += burst_left << 3
-                append(("s", burst_ptr))
-                continue
-            cname = snames[schoice[i]]
-            if cname == "stream":
-                stream_ptr += 8
-                append(("s", stream_ptr))
-            else:
-                append(("s", class_addr(cname, i)))
+            code = "x"
+            a = hot_base + (int(off_r[i] * hot_words) << 3)
         else:
-            append(("a",))
+            r = op_r[i]
+            if r < load_cut:
+                code = "l"
+                cname = lnames[lchoice[i]]
+                if cname == "stream":
+                    stream_ptr += 8
+                    a = stream_ptr
+                elif jump_r[i] < jump_frac:
+                    off = int(off_r[i] * words[cname])
+                    sweep[cname] = off
+                    a = class_base[cname] + (off << 3)
+                else:
+                    off = sweep[cname] = (sweep[cname] + 1) % words[cname]
+                    a = class_base[cname] + (off << 3)
+            elif r < store_cut:
+                code = "s"
+                if burst_left > 0:
+                    burst_left -= 1
+                    burst_ptr += 8
+                    a = burst_ptr
+                elif burst_r is not None and burst_r[i] < store_burst:
+                    burst_left = burst_len_r[burst_idx % n_burst_lens]
+                    burst_idx += 1
+                    stream_ptr += 8
+                    burst_ptr = stream_ptr
+                    stream_ptr += burst_left << 3
+                    a = burst_ptr
+                else:
+                    cname = snames[schoice[i]]
+                    if cname == "stream":
+                        stream_ptr += 8
+                        a = stream_ptr
+                    elif jump_r[i] < jump_frac:
+                        off = int(off_r[i] * words[cname])
+                        sweep[cname] = off
+                        a = class_base[cname] + (off << 3)
+                    else:
+                        off = sweep[cname] = (sweep[cname] + 1) % words[cname]
+                        a = class_base[cname] + (off << 3)
+            else:
+                code = "a"
+                a = 0
+        if instrumenting:
+            if region_left <= 0 or code == "x":
+                # Synchronization points are region boundaries too.
+                cappend("b")
+                aappend(0)
+                ckpt_accum += ckpts_per_region
+                while ckpt_accum >= 1.0:
+                    ckpt_accum -= 1.0
+                    slot = (slot + 1) % _CKPT_SLOTS
+                    cappend("c")
+                    aappend(ckpt_base + slot * 8)
+                region_left = int(geometric(region_p))
+            region_left -= 1
+        cappend(code)
+        aappend(a)
 
-    if instrument is None:
-        return events
-    return _instrument(events, profile, seed, instrument)
-
-
-def _instrument(
-    core: List[Event], profile: AppProfile, seed: int, mode: str
-) -> List[Event]:
-    """Insert region boundaries and checkpoint stores into *core*."""
-    rng = np.random.default_rng(seed * 7_000_037 + 23)
-    ckpts_per_region = (
-        profile.ckpts_pruned if mode == "pruned" else profile.ckpts_unpruned
-    )
-    base = _app_base(profile.name) + _CKPT_OFFSET
-    out: List[Event] = []
-    append = out.append
-    region_left = int(rng.geometric(1.0 / profile.region_len))
-    ckpt_accum = 0.0
-    slot = 0
-    for ev in core:
-        if region_left <= 0 or ev[0] == "x":
-            # Synchronization points are region boundaries too.
-            append(("b",))
-            ckpt_accum += ckpts_per_region
-            while ckpt_accum >= 1.0:
-                ckpt_accum -= 1.0
-                slot = (slot + 1) % _CKPT_SLOTS
-                append(("c", base + slot * 8))
-            region_left = int(rng.geometric(1.0 / profile.region_len))
-        append(ev)
-        region_left -= 1
-    return out
+    trace = PackedTrace("".join(codes), addrs)
+    return trace if packed else trace.to_events()

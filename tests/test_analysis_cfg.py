@@ -1,6 +1,5 @@
 """CFG, dominators, and loop detection tests."""
 
-import pytest
 
 from repro.analysis.cfg import CFG
 from repro.analysis.dominators import DominatorTree

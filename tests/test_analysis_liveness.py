@@ -1,6 +1,5 @@
 """Liveness and reaching-definitions tests."""
 
-from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
 from repro.analysis.reaching import ReachingDefs
 from repro.ir.builder import IRBuilder

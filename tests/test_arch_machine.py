@@ -4,7 +4,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.arch import Scheme, simulate, skylake_machine
+from repro.arch import simulate, skylake_machine
 from repro.schemes import baseline, capri, cwsp, psp_ideal, replaycache
 
 

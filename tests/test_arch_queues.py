@@ -33,6 +33,27 @@ class TestAdvance:
         q.advance(10.0)
         assert q.occ_integral == pytest.approx(20.0)
 
+    def test_zero_window_mean_occupancy_is_zero(self):
+        """A zero-cycle run reads 0.0, matching SimStats.ipc's guard.
+
+        Both derived metrics use the same truthiness test on the
+        denominator, so an empty simulation reports consistent zeros
+        instead of one metric raising ZeroDivisionError.
+        """
+        q = CompletionQueue(4)
+        assert q.mean_occupancy(0.0) == 0.0
+        q.push(0.0)  # an entry completing exactly at t=0
+        assert q.mean_occupancy(0.0) == 0.0
+
+    def test_zero_cycle_stats_consistent_with_ipc(self):
+        from repro.arch.config import skylake_machine
+        from repro.arch.machine import simulate
+        from repro.schemes.catalog import cwsp
+
+        stats = simulate([], skylake_machine(scaled=True), cwsp())
+        assert stats.cycles == 0
+        assert stats.ipc == 0.0
+
 
 class TestAdmit:
     def test_admit_when_space(self):

@@ -1,0 +1,105 @@
+"""PackedTrace: representation round-trips and simulator value identity.
+
+The packed/legacy contract is the PR's core invariant: the batched
+representation and the per-event tuple list must be interchangeable
+everywhere, and ``TimingSimulator.run`` must produce byte-identical
+stats for either form of the same stream.
+"""
+
+import pytest
+
+from repro.arch.config import machine_with_cache_levels, skylake_machine
+from repro.arch.machine import TimingSimulator, simulate
+from repro.arch.trace import CODES, CODES_NO_ADDR, CODES_WITH_ADDR, PackedTrace
+from repro.schemes.catalog import baseline, capri, cwsp, ido, psp_ideal, replaycache
+from repro.workloads.profiles import PROFILES
+from repro.workloads.synthetic import generate_trace, prime_ranges
+
+SCHEME_FACTORIES = {
+    "baseline": baseline,
+    "cwsp": cwsp,
+    "capri": capri,
+    "replaycache": replaycache,
+    "ido": ido,
+    "psp_ideal": psp_ideal,
+}
+
+
+class TestPackedTrace:
+    def test_code_sets_partition(self):
+        assert CODES_NO_ADDR & CODES_WITH_ADDR == frozenset()
+        assert CODES == CODES_NO_ADDR | CODES_WITH_ADDR
+
+    def test_round_trip_from_events(self):
+        events = [("l", 64), ("a",), ("s", 128), ("b",), ("c", 8), ("f",), ("x", 72)]
+        packed = PackedTrace.from_events(events)
+        assert len(packed) == len(events)
+        assert packed.to_events() == events
+        assert list(packed) == events
+        assert [packed[i] for i in range(len(packed))] == events
+
+    def test_equality(self):
+        a = PackedTrace("la", [8, 0])
+        assert a == PackedTrace("la", [8, 0])
+        assert a != PackedTrace("ls", [8, 0])
+        assert a != PackedTrace("la", [8, 1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PackedTrace("ll", [8])
+
+    def test_generator_packed_matches_legacy(self):
+        profile = PROFILES["astar"]
+        for mode in (None, "unpruned", "pruned"):
+            legacy = generate_trace(profile, 4_000, seed=2, instrument=mode)
+            packed = generate_trace(
+                profile, 4_000, seed=2, instrument=mode, packed=True
+            )
+            assert isinstance(packed, PackedTrace)
+            assert isinstance(legacy, list)
+            assert packed.to_events() == legacy
+            assert PackedTrace.from_events(legacy) == packed
+
+
+class TestSimulatorValueIdentity:
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+    def test_packed_equals_legacy_stats(self, scheme_name):
+        """run(PackedTrace) and run(list) agree to the last bit."""
+        profile = PROFILES["xsbench"]
+        machine = skylake_machine(scaled=True)
+        prime = prime_ranges(profile)
+        legacy = generate_trace(profile, 8_000, seed=5, instrument="pruned")
+        packed = generate_trace(
+            profile, 8_000, seed=5, instrument="pruned", packed=True
+        )
+        factory = SCHEME_FACTORIES[scheme_name]
+        s_legacy = simulate(legacy, machine, factory(), prime=prime)
+        s_packed = simulate(packed, machine, factory(), prime=prime)
+        assert s_packed.to_dict() == s_legacy.to_dict()
+
+    def test_packed_equals_legacy_on_nonconforming_geometry(self):
+        """Configs outside the fast-path gate fall back and still agree."""
+        profile = PROFILES["astar"]
+        machine = machine_with_cache_levels(3)
+        prime = prime_ranges(profile)
+        legacy = generate_trace(profile, 6_000, seed=1, instrument="pruned")
+        packed = PackedTrace.from_events(legacy)
+        s_legacy = simulate(legacy, machine, cwsp(), prime=prime)
+        s_packed = simulate(packed, machine, cwsp(), prime=prime)
+        assert s_packed.to_dict() == s_legacy.to_dict()
+
+    def test_fast_path_actually_engaged(self):
+        """The default bench machine must qualify for the fused loop."""
+        sim = TimingSimulator(skylake_machine(scaled=True), cwsp())
+        assert sim._packed_fast
+
+    def test_run_accepts_iterables(self):
+        """Generators (no len) still simulate via the reference loop."""
+        profile = PROFILES["astar"]
+        machine = skylake_machine(scaled=True)
+        legacy = generate_trace(profile, 3_000, seed=9, instrument="pruned")
+        s_list = simulate(legacy, machine, cwsp(), prime=prime_ranges(profile))
+        s_iter = simulate(
+            iter(legacy), machine, cwsp(), prime=prime_ranges(profile)
+        )
+        assert s_iter.to_dict() == s_list.to_dict()

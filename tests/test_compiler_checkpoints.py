@@ -12,7 +12,7 @@ from repro.compiler import (
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Module
 from repro.ir.instructions import Boundary, Checkpoint
-from repro.ir.interpreter import Interpreter, Memory
+from repro.ir.interpreter import Memory
 from repro.ir.values import Reg
 
 

@@ -1,6 +1,5 @@
 """Pipeline option combinations and report aggregation."""
 
-import pytest
 
 from repro.compiler import CompileOptions, compile_module
 from repro.ir.instructions import Boundary, Checkpoint

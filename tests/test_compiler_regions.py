@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.cfg import CFG
 from repro.compiler.regions import (
     cut_antidependences,
     find_antidependent_stores,
@@ -12,7 +11,6 @@ from repro.ir.builder import IRBuilder
 from repro.ir.function import Module
 from repro.ir.instructions import Boundary, Call, Store
 from repro.ir.values import Reg
-from tests.conftest import build_rmw_loop, build_straightline
 
 
 def boundaries_of(fn, kind=None):

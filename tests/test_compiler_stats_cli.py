@@ -3,7 +3,6 @@
 import io
 import sys
 
-import pytest
 
 from repro.compiler import compile_module
 from repro.compiler.stats import (

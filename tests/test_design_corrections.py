@@ -6,7 +6,6 @@ load-bearing: with it, every failure point recovers; without it, the
 crash-consistency sweep finds real divergences.
 """
 
-import pytest
 
 from repro.compiler import compile_module
 from repro.recovery import PersistenceConfig, check_crash_consistency

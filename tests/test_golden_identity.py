@@ -1,0 +1,123 @@
+"""Golden value-identity: the optimized simulator must not drift.
+
+The hot-loop optimizations (local binding, packed traces, ring-buffer
+queues) are only admissible when they are *value-identical*: the same
+seed and config must produce byte-identical ``SimStats.to_dict()``
+output before and after.  This suite pins that contract against a
+committed golden JSON covering every scheme in
+:mod:`repro.schemes.catalog` (the named schemes and the Figure 15
+ablation ladder) plus one multi-core run.
+
+Regenerate after an *intentional* model change with::
+
+    PYTHONPATH=src python tests/test_golden_identity.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch.config import skylake_machine
+from repro.arch.machine import simulate
+from repro.arch.multicore import simulate_multicore
+from repro.schemes.catalog import (
+    ablation_ladder,
+    baseline,
+    capri,
+    cwsp,
+    ido,
+    psp_ideal,
+    replaycache,
+)
+from repro.workloads.profiles import PROFILES
+from repro.workloads.synthetic import generate_trace, prime_ranges
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "sim_golden.json"
+
+APP = "astar"
+N_INSTS = 4000
+SEED = 3
+
+
+def _named_schemes():
+    """Every scheme the catalog defines, with its trace instrumentation."""
+    cases = [(f"scheme:{f().name}", f(), "pruned") for f in
+             (baseline, cwsp, capri, replaycache, ido, psp_ideal)]
+    for _stage, scheme, trace_kwargs in ablation_ladder():
+        cases.append((f"ladder:{scheme.name}", scheme, trace_kwargs["ckpts"]))
+    return cases
+
+
+def compute_golden():
+    """Simulate every catalog scheme over a fixed-seed trace."""
+    machine = skylake_machine(scaled=True)
+    profile = PROFILES[APP]
+    prime = prime_ranges(profile)
+    traces = {}
+    out = {}
+    for case_id, scheme, instrument in _named_schemes():
+        if instrument not in traces:
+            traces[instrument] = generate_trace(
+                profile, N_INSTS, seed=SEED, instrument=instrument
+            )
+        stats = simulate(traces[instrument], machine, scheme, prime=prime)
+        out[case_id] = stats.to_dict()
+    mc_profiles = [PROFILES[a] for a in (APP, "bzip2")]
+    mc_traces = [
+        generate_trace(p, N_INSTS, seed=SEED + i, instrument="pruned")
+        for i, p in enumerate(mc_profiles)
+    ]
+    mc_prime = [r for p in mc_profiles for r in prime_ranges(p)]
+    mstats = simulate_multicore(mc_traces, machine, cwsp(), prime=mc_prime)
+    out["multicore:cwsp"] = mstats.merged().to_dict()
+    return out
+
+
+def canonical(data) -> str:
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return compute_golden()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; regenerate with "
+        "PYTHONPATH=src python tests/test_golden_identity.py --regen"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_covers_every_catalog_scheme(golden):
+    expected = {case_id for case_id, _, _ in _named_schemes()} | {"multicore:cwsp"}
+    assert set(golden) == expected
+
+
+@pytest.mark.parametrize(
+    "case_id", [c for c, _, _ in _named_schemes()] + ["multicore:cwsp"]
+)
+def test_value_identical_to_golden(case_id, computed, golden):
+    assert canonical(computed[case_id]) == canonical(golden[case_id]), (
+        f"{case_id}: simulator output drifted from the committed golden; "
+        "if the model change is intentional, regenerate the golden "
+        "(see module docstring)"
+    )
+
+
+def test_byte_identical_serialization(computed, golden):
+    """The whole document must match byte-for-byte, not just per-case."""
+    assert canonical(computed) == canonical(golden)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        raise SystemExit("usage: python tests/test_golden_identity.py --regen")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(canonical(compute_golden()))
+    print(f"wrote {GOLDEN_PATH}")

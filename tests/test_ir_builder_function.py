@@ -4,7 +4,7 @@ import pytest
 
 from repro.ir.builder import IRBuilder
 from repro.ir.function import BasicBlock, Function, Module
-from repro.ir.instructions import BinOp, Const, Ret, Store
+from repro.ir.instructions import BinOp, Const, Ret
 from repro.ir.interpreter import Interpreter
 from repro.ir.values import Imm, Reg
 

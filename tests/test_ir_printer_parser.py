@@ -5,7 +5,7 @@ import pytest
 from repro.ir.instructions import BinOp, Boundary, Checkpoint, Load, Store
 from repro.ir.interpreter import Interpreter
 from repro.ir.parser import ParseError, parse_module
-from repro.ir.printer import print_function, print_instr, print_module
+from repro.ir.printer import print_instr, print_module
 from repro.ir.values import Imm, Reg
 from tests.conftest import build_call_chain, build_rmw_loop, build_straightline
 

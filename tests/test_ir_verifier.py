@@ -3,8 +3,8 @@
 import pytest
 
 from repro.ir.builder import IRBuilder
-from repro.ir.function import BasicBlock, Function, Module
-from repro.ir.instructions import Branch, Call, Const, Ret
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Branch, Const, Ret
 from repro.ir.values import Reg
 from repro.ir.verifier import VerificationError, verify_function, verify_module
 

@@ -8,7 +8,6 @@ failure at any point recovers to the failure-free outcome.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.arch.queues import CompletionQueue

@@ -1,14 +1,10 @@
 """Functional persistence model: regions, logs, revert, output release."""
 
-import pytest
 
 from repro.compiler import compile_module
-from repro.ir.builder import IRBuilder
 from repro.ir.function import Module
 from repro.ir.interpreter import Interpreter, TraceEvent
-from repro.ir.values import Reg
 from repro.recovery.model import FunctionalPersistence, PersistenceConfig
-from tests.conftest import build_rmw_loop
 
 
 def drive(module, config=None, entry="main", args=()):
