@@ -184,13 +184,17 @@ class CacheHierarchy:
                 return latency, False, llc_evicted
         return latency, True, llc_evicted
 
-    def prime(self, ranges) -> None:
+    def prime(self, ranges, from_level: int = 0) -> None:
         """Warm the hierarchy with address ranges, smallest first.
 
         Models the steady-state residency a sampled trace window would
         inherit from the billion instructions before it: each range is
         inserted (clean) into every level whose capacity still covers
         the cumulative footprint, and into the DRAM cache always.
+
+        ``from_level`` skips the levels above it (the multicore
+        simulator warms only the shared levels -- index 1 and below --
+        so every core's private L1 starts equally cold).
         """
         ranges = sorted(ranges, key=lambda r: r[1])
         cumulative = 0
@@ -199,6 +203,8 @@ class CacheHierarchy:
             cumulative += size
             level_cutoff.append(cumulative)
         for li, level in enumerate(self.levels):
+            if li < from_level:
+                continue
             capacity = level.n_sets * level.ways << level.line_bits
             for (base, size), cum in zip(ranges, level_cutoff):
                 if cum > capacity:

@@ -412,12 +412,16 @@ class TimingSimulator:
                     mc = (addr >> mc_shift) & mc_mask
                     penalty += nvm_read_cyc + mc_extra[mc]
                     n_nvm_reads += 1
+                    if penalty > 0:
+                        cycle += penalty * mlp
                     if wpq_delay_on:
+                        # Ordering wait, not memory latency: no MLP
+                        # discount (see _load).
                         done = wpq_word_done[mc].get(addr >> 3)
-                        if done is not None and done > cycle + penalty:
+                        if done is not None and done > cycle:
                             n_wpq_hits += 1
-                            penalty = done - cycle
-                if penalty > 0:
+                            cycle = done
+                elif penalty > 0:
                     cycle += penalty * mlp
                 # ---- inlined _evictions (load path) -----------------
                 if l1_ev is not None:
@@ -703,13 +707,18 @@ class TimingSimulator:
             mc = (addr // self._interleave) % self._mc_count
             penalty += self._nvm_read_cyc + self._mc_extra[mc]
             self._c_nvm_reads.value += 1
+            if penalty > 0:
+                self.cycle += penalty * self._mlp
             if self.scheme.persist_stores and self.scheme.wpq_load_delay:
+                # Stale-read avoidance (Section V-C): a load that hits
+                # an in-flight WPQ word waits until that entry persists
+                # -- an ordering wait, not an overlappable memory
+                # latency, so the MLP discount must not apply to it.
                 done = self.wpq_word_done[mc].get(addr >> 3)
-                ready = self.cycle + penalty
-                if done is not None and done > ready:
+                if done is not None and done > self.cycle:
                     self._c_wpq_hits.value += 1
-                    penalty = done - self.cycle
-        if penalty > 0:
+                    self.cycle = done
+        elif penalty > 0:
             self.cycle += penalty * self._mlp
         self._evictions(l1_ev, llc_ev)
 

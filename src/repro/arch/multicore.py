@@ -49,7 +49,9 @@ class MulticoreStats:
         metrics = MetricSet()
         for stats in self.per_core:
             metrics.merge(stats.metrics)
-        scheme = self.per_core[0].scheme if self.per_core else ""
+        # Not per_core[0].scheme: an idle core 0 (fewer traces than
+        # cores, or an empty first trace) must not decide the label.
+        scheme = next((s.scheme for s in self.per_core if s.scheme), "")
         return SimStats(scheme=scheme, metrics=metrics)
 
     @property
@@ -67,8 +69,11 @@ class MulticoreStats:
 
     @property
     def wpq_full_stalls(self) -> int:
-        # The WPQs are shared; core 0's stat carries the global count.
-        return self.per_core[0].wpq_full_stalls if self.per_core else 0
+        # The WPQs are shared queue objects and only the owning core
+        # contributes their records (finalize(shared_owner=...)), so
+        # summing the merged set counts the global number exactly once
+        # -- and does not assume the owner sits at index 0.
+        return sum(int(s.metrics.value("wpq.full_stalls")) for s in self.per_core)
 
 
 class MulticoreSimulator:
@@ -109,9 +114,14 @@ class MulticoreSimulator:
             hier.dram = ref.dram
 
     def prime(self, ranges: Iterable[Tuple[int, int]]) -> None:
-        self.cores[0].hier.prime(list(ranges))
-        # Private L1s of other cores stay cold; the shared levels are
-        # already warm through the shared tag state.
+        """Warm the shared levels and the DRAM cache only.
+
+        Every private L1D starts cold: warming core 0's L1 (while
+        cores 1..N-1 stayed cold) would bias per-core stats
+        asymmetrically.  The shared tag state makes one core's priming
+        visible to all of them.
+        """
+        self.cores[0].hier.prime(list(ranges), from_level=1)
 
     def run(self, traces: Sequence[List[Event]]) -> MulticoreStats:
         """Run one event list per core; returns aggregate stats.

@@ -122,6 +122,35 @@ class TestRBT:
 
 
 class TestStaleReadMachinery:
+    def test_wpq_hit_load_commits_at_persist_time(self, machine):
+        # Section V-C: a load hitting an in-flight WPQ word waits until
+        # that entry persists -- exactly, with no mlp_factor discount
+        # (an ordering wait is not an overlappable memory latency).
+        from repro.arch.machine import TimingSimulator
+
+        sim = TimingSimulator(machine, cwsp())
+        addr = 0x7000_0040  # cold caches: the load reads from NVM
+        mc = machine.mc_of(addr)
+        done = 1.0e6  # far beyond the load's own latency
+        sim.wpq_word_done[mc][addr >> 3] = done
+        sim._load(addr)
+        assert sim.cycle == done
+        assert sim.stats.wpq_load_hits == 1
+
+    def test_wpq_hit_load_commits_at_persist_time_packed(self, machine):
+        from repro.arch.machine import TimingSimulator
+        from repro.arch.trace import PackedTrace
+
+        sim = TimingSimulator(machine, cwsp())
+        assert sim._packed_fast
+        addr = 0x7000_0040
+        mc = machine.mc_of(addr)
+        done = 1.0e6
+        sim.wpq_word_done[mc][addr >> 3] = done
+        sim._run_packed(PackedTrace("l", [addr]))
+        assert sim.cycle == done
+        assert sim.stats.wpq_load_hits == 1
+
     def test_wpq_load_delay_counts_hits(self, machine):
         # Store a word, evict its line from every cache level with
         # conflicting loads, then load it back while the persist is
