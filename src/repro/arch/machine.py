@@ -223,39 +223,59 @@ class TimingSimulator:
     def _run_events(self, events: Iterable[Event]) -> None:
         """Reference loop: one dispatch per legacy event tuple.
 
-        This is the semantic definition the fused loop must match; the
-        multicore stepper calls the same per-event methods directly.
+        This is the semantic definition the fused loop must match.
         """
-        c_insts = self._c_insts
-        commit_cost = self._commit_cost
-        load = self._load
-        store = self._store
-        boundary = self._boundary
-        sync = self._sync
+        step = self._step
         for ev in events:
-            code = ev[0]
-            self.cycle += commit_cost
-            c_insts.value += 1
-            if code == "a":
-                continue
-            if code == "l":
-                load(ev[1])
-            elif code == "s":
-                store(ev[1], is_ckpt=False)
-            elif code == "c":
-                store(ev[1], is_ckpt=True)
-            elif code == "b":
-                boundary()
-            elif code == "f":
-                sync()
-            elif code == "x":
-                store(ev[1], is_ckpt=False)
-                sync()
-            else:  # pragma: no cover - generator bug guard
-                raise ValueError(f"unknown event code {code!r}")
+            step(ev)
+
+    def _step(self, ev: Event) -> None:
+        """Commit one legacy event tuple: the shared reference dispatch.
+
+        Every reference path -- :meth:`_run_events` and the multicore
+        min-clock stepper -- routes through this one dispatch, so the
+        per-event semantics cannot drift between them.
+        """
+        self.cycle += self._commit_cost
+        self._c_insts.value += 1
+        code = ev[0]
+        if code == "a":
+            return
+        if code == "l":
+            self._load(ev[1])
+        elif code == "s":
+            self._store(ev[1], is_ckpt=False)
+        elif code == "c":
+            self._store(ev[1], is_ckpt=True)
+        elif code == "b":
+            self._boundary()
+        elif code == "f":
+            self._sync()
+        elif code == "x":
+            self._store(ev[1], is_ckpt=False)
+            self._sync()
+        else:  # pragma: no cover - generator bug guard
+            raise ValueError(f"unknown event code {code!r}")
 
     def _run_packed(self, trace: PackedTrace) -> None:
-        """Fused hot loop over a :class:`PackedTrace`.
+        """Fused hot loop over a :class:`PackedTrace` (single core).
+
+        Drives :meth:`_packed_gen` with an infinite scheduling limit:
+        a lone core is always the min-clock core, so the generator
+        runs straight through without ever yielding.
+        """
+        gen = self._packed_gen(trace)
+        next(gen)  # run the locals setup, park before the first event
+        try:
+            gen.send((float("inf"), 0))
+        except StopIteration:
+            return
+        raise RuntimeError(  # pragma: no cover - scheduling bug guard
+            "packed loop yielded under an infinite limit"
+        )
+
+    def _packed_gen(self, trace: PackedTrace, idx: int = 0):
+        """Fused hot loop over a :class:`PackedTrace`, as a coroutine.
 
         The ``a``/``l``/``s``/``c`` cases (the bulk of every stream)
         are inlined from :meth:`_load`/:meth:`_store`/:meth:`_persist`/
@@ -265,6 +285,18 @@ class TimingSimulator:
         optimization invariants") for what this loop may and may not
         reorder -- every float operation below happens in the same
         order, on the same values, as in the reference methods.
+
+        Multi-core scheduling protocol (see DESIGN.md section 7c): the
+        caller primes the generator with ``next()``, then ``send()``s
+        ``(limit_cycle, limit_idx)`` -- the smallest pre-event
+        ``(clock, core)`` pair among the *other* cores.  Events that
+        touch only core-private state (ALU ops, L1 hits, fences,
+        coalesced persists) run unconditionally; before an event that
+        touches shared state (L2+/DRAM tags, WPQs, NVM bandwidth) the
+        generator yields its own pre-event clock while it is not the
+        minimum, and the scheduler resumes whichever core is.  The
+        generator frame keeps every localized scalar alive across
+        yields, so blocking costs one comparison, not a state reload.
         """
         # -- constants ------------------------------------------------
         commit_cost = self._commit_cost
@@ -337,13 +369,19 @@ class TimingSimulator:
         n_wb_delays = 0
         n_wpq_hits = 0
 
+        # Scheduling handshake: park until the caller sends the first
+        # (limit_cycle, limit_idx) pair.
+        limit_c, limit_i = yield
+
         for code, addr in zip(trace.codes, trace.addrs):
-            cycle += commit_cost
             if code == "a":
+                cycle += commit_cost
                 continue
             if code == "l":
                 # ---- inlined _load (L1 probe unrolled) --------------
-                l1_tick += 1
+                # The L1 probe is a pure read of private state, so it
+                # doubles as the shared/private classification: a hit
+                # never leaves the core.
                 l1_line = addr >> line_bits
                 index = l1_line & l1_idx_mask
                 tag = l1_line >> l1_tag_shift
@@ -351,9 +389,16 @@ class TimingSimulator:
                 entry = ways.get(tag)
                 if entry is not None:
                     # L1 hit: zero penalty, no evictions, next event.
+                    cycle += commit_cost
+                    l1_tick += 1
                     l1_hits += 1
                     entry[0] = l1_tick
                     continue
+                # L1 miss: L2+/DRAM tags and NVM state are shared.
+                while cycle > limit_c or (cycle == limit_c and idx > limit_i):
+                    limit_c, limit_i = yield cycle
+                cycle += commit_cost
+                l1_tick += 1
                 l1_misses += 1
                 if len(ways) >= l1_ways_cap:
                     victim_tag = None
@@ -461,14 +506,23 @@ class TimingSimulator:
             elif code == "s" or code == "c":
                 # ---- inlined _store ('c' is a store: is_ckpt is
                 # latency-neutral in the reference method) ------------
-                if extra_store_cost:
-                    cycle += extra_store_cost
-                l1_tick += 1
+                # Shared iff the L1 probe misses (L2+/DRAM tags) or the
+                # persist path engages (WPQ/NVM); a store merged into
+                # an already-buffered dirty line never leaves the core.
                 l1_line = addr >> line_bits
                 index = l1_line & l1_idx_mask
                 tag = l1_line >> l1_tag_shift
                 ways = l1_setlist[index]
                 entry = ways.get(tag)
+                if entry is None or (
+                    persist_stores and not (coalesce and l1_line in region_lines)
+                ):
+                    while cycle > limit_c or (cycle == limit_c and idx > limit_i):
+                        limit_c, limit_i = yield cycle
+                cycle += commit_cost
+                if extra_store_cost:
+                    cycle += extra_store_cost
+                l1_tick += 1
                 if entry is not None:
                     l1_hits += 1
                     entry[0] = l1_tick
@@ -632,7 +686,14 @@ class TimingSimulator:
                 n_path_bytes += persist_bytes
                 n_nvm_writes += 1
             elif code == "b" or code == "f" or code == "x":
-                # Rare events: run through the reference methods.
+                # Rare events: run through the reference methods.  A
+                # fence orders only this core's stream (private); a
+                # boundary can synthesize checkpoint stores and an
+                # atomic is store+fence, so both are gated as shared.
+                if code != "f":
+                    while cycle > limit_c or (cycle == limit_c and idx > limit_i):
+                        limit_c, limit_i = yield cycle
+                cycle += commit_cost
                 self.cycle = cycle
                 self.path_free = path_free
                 self.region_last_persist = region_last_persist

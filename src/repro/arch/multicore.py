@@ -14,9 +14,24 @@ state:
   each core to the MCs, so path bandwidth is per-core, but WPQ and NVM
   bandwidth are contended).
 
-Cores are advanced in lockstep windows: the core with the smallest
+Cores are advanced in min-clock order: the core with the smallest
 local clock consumes its next event, so shared-queue contention is
-observed in approximately global time order.
+observed in approximately global time order.  Two implementations of
+that schedule exist:
+
+- the *reference stepper* (:meth:`MulticoreSimulator._run_events`): a
+  heap pop, one :meth:`TimingSimulator._step` dispatch, a heap push --
+  per event;
+- the *fused loop* (:meth:`MulticoreSimulator._run_packed`): one
+  packed-trace coroutine per core
+  (:meth:`TimingSimulator._packed_gen`), scheduled only at events that
+  touch shared state.  Each core runs ahead through its core-private
+  events (ALU, L1 hits, fences, coalesced persists) without consulting
+  the scheduler -- private events commute -- and blocks before a
+  shared event until it holds the minimum ``(clock, core)`` pair, so
+  every shared interaction happens in exactly the reference stepper's
+  order.  The two paths are value-identical by contract (golden- and
+  differentially-pinned in the test suite).
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ from repro.arch.config import MachineConfig
 from repro.arch.machine import Event, SimStats, TimingSimulator
 from repro.arch.metrics import MetricSet
 from repro.arch.scheme import Scheme
+from repro.arch.trace import PackedTrace
 
 
 @dataclass
@@ -124,12 +140,33 @@ class MulticoreSimulator:
         self.cores[0].hier.prime(list(ranges), from_level=1)
 
     def run(self, traces: Sequence[List[Event]]) -> MulticoreStats:
-        """Run one event list per core; returns aggregate stats.
+        """Run one event stream per core; returns aggregate stats.
 
-        Fewer traces than cores leaves the extra cores idle.
+        Fewer traces than cores leaves the extra cores idle.  All-
+        packed traces take the fused scheduling loop when the cache
+        geometry supports it (see ``TimingSimulator._packed_fast``);
+        anything else takes the reference min-clock stepper.  Both
+        paths are value-identical by contract.
         """
         if len(traces) > self.n_cores:
             raise ValueError(f"{len(traces)} traces for {self.n_cores} cores")
+        if (
+            traces
+            and self.cores[0]._packed_fast
+            and all(isinstance(t, PackedTrace) for t in traces)
+        ):
+            self._run_packed(traces)
+        else:
+            self._run_events(traces)
+        stats = MulticoreStats()
+        for idx, core in enumerate(self.cores):
+            # The WPQs are shared queue objects: only core 0 owns their
+            # records, so merged aggregates count them exactly once.
+            stats.per_core.append(core.finalize(shared_owner=idx == 0))
+        return stats
+
+    def _run_events(self, traces: Sequence[List[Event]]) -> None:
+        """Reference min-clock stepper: one event dispatch per heap pop."""
         iters = [iter(t) for t in traces]
         # Min-heap on local core time: approximately global time order.
         heap: List[Tuple[float, int]] = []
@@ -145,33 +182,46 @@ class MulticoreSimulator:
             if ev is None:
                 continue
             core = self.cores[idx]
-            core._c_insts.value += 1
-            core.cycle += core._commit_cost
-            code = ev[0]
-            if code == "l":
-                core._load(ev[1])
-            elif code == "s":
-                core._store(ev[1], is_ckpt=False)
-            elif code == "c":
-                core._store(ev[1], is_ckpt=True)
-            elif code == "b":
-                core._boundary()
-            elif code == "f":
-                core._sync()
-            elif code == "x":
-                core._store(ev[1], is_ckpt=False)
-                core._sync()
-            elif code != "a":  # pragma: no cover - generator bug guard
-                raise ValueError(f"unknown event code {code!r}")
+            core._step(ev)
             pending[idx] = next(iters[idx], None)
             if pending[idx] is not None:
                 heapq.heappush(heap, (core.cycle, idx))
-        stats = MulticoreStats()
-        for idx, core in enumerate(self.cores):
-            # The WPQs are shared queue objects: only core 0 owns their
-            # records, so merged aggregates count them exactly once.
-            stats.per_core.append(core.finalize(shared_owner=idx == 0))
-        return stats
+
+    def _run_packed(self, traces: Sequence[PackedTrace]) -> None:
+        """Fused scheduling loop over per-core packed coroutines.
+
+        Each core's :meth:`TimingSimulator._packed_gen` executes runs
+        of core-private events without scheduler involvement and yields
+        its pre-event clock when blocked at a shared event while some
+        other core's pending ``(clock, core)`` pair is smaller.  The
+        heap holds exactly those pending pairs -- the same keys the
+        reference stepper orders by -- so shared-state interactions
+        happen in the identical global order, and the per-event
+        heap-pop/dispatch/heap-push of the reference stepper is paid
+        only at actual cross-core scheduling points.
+
+        A popped generator's pending key is the heap minimum, so each
+        ``send`` executes at least one event: the loop always makes
+        progress.  The initial ``(0.0, idx)`` entries are conservative
+        placeholders for cores that have not run yet.
+        """
+        sends = []
+        for idx, trace in enumerate(traces):
+            gen = self.cores[idx]._packed_gen(trace, idx)
+            next(gen)  # run the locals setup, park before the first event
+            sends.append(gen.send)
+        heap: List[Tuple[float, int]] = [(0.0, idx) for idx in range(len(sends))]
+        heapq.heapify(heap)
+        last = (float("inf"), -1)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while heap:
+            _, idx = heappop(heap)
+            try:
+                clock = sends[idx](heap[0] if heap else last)
+            except StopIteration:
+                continue  # this core's trace is exhausted
+            heappush(heap, (clock, idx))
 
 
 def simulate_multicore(

@@ -95,10 +95,13 @@ def point_cache_key(point: Point, salt: Optional[str] = None) -> str:
 def compute_point(point: Point) -> SimStats:
     """Regenerate the trace(s) for *point* and simulate it."""
     if isinstance(point, MulticorePoint):
+        # Packed traces feed the fused multicore scheduling loop; the
+        # result is value-identical to the legacy tuple lists through
+        # the reference min-clock stepper (golden-pinned).
         traces = [
             generate_trace(
                 PROFILES[app], point.n_insts, seed=point.seed + i,
-                instrument=point.instrument,
+                instrument=point.instrument, packed=True,
             )
             for i, app in enumerate(point.apps)
         ]

@@ -2,7 +2,7 @@
 
 ::
 
-    python -m repro.perf                         # full suite -> BENCH_PR4.json
+    python -m repro.perf                         # full suite -> BENCH_PR5.json
     python -m repro.perf --quick                 # CI-sized runs
     python -m repro.perf machine.run.cwsp        # a subset
     python -m repro.perf --list                  # what exists
@@ -52,7 +52,7 @@ def git_sha() -> str:
 
 
 def document(results: Dict[str, BenchResult], config: BenchConfig) -> dict:
-    """The machine-readable benchmark document (BENCH_PR4.json)."""
+    """The machine-readable benchmark document (BENCH_PR5.json)."""
     from repro.arch.config import skylake_machine
 
     machine = skylake_machine(scaled=True)
@@ -174,9 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_PR4.json",
+        default="BENCH_PR5.json",
         metavar="PATH",
-        help="benchmark JSON output (default: BENCH_PR4.json)",
+        help="benchmark JSON output (default: BENCH_PR5.json)",
     )
     parser.add_argument(
         "--compare",

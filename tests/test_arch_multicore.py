@@ -45,6 +45,103 @@ class TestStructure:
             assert core.wpq is sim.cores[0].wpq
 
 
+def catalog_cases():
+    """Every catalog scheme with its trace instrumentation."""
+    from repro.schemes.catalog import (
+        ablation_ladder,
+        capri,
+        ido,
+        psp_ideal,
+        replaycache,
+    )
+
+    cases = [(f().name, f(), "pruned") for f in
+             (baseline, cwsp, capri, replaycache, ido, psp_ideal)]
+    for stage, scheme, trace_kwargs in ablation_ladder():
+        cases.append((f"ladder-{stage}", scheme, trace_kwargs["ckpts"]))
+    return cases
+
+
+class TestFusedLoopIdentity:
+    """The fused packed loop must be bit-identical to the reference
+    min-clock stepper -- and, degenerately, to the single-core
+    simulator -- for every scheme the catalog defines."""
+
+    @pytest.mark.parametrize("packed", [False, True], ids=["legacy", "packed"])
+    @pytest.mark.parametrize(
+        "scheme,instrument",
+        [(s, i) for _, s, i in catalog_cases()],
+        ids=[c for c, _, _ in catalog_cases()],
+    )
+    def test_one_core_bit_identical_to_unicore(
+        self, machine, scheme, instrument, packed
+    ):
+        tr = generate_trace(
+            PROFILES["radix"], 1500, seed=5, instrument=instrument, packed=packed
+        )
+        uni = simulate(tr, machine, scheme)
+        multi = MulticoreSimulator(machine, scheme, 1).run([tr])
+        assert multi.per_core[0].to_dict() == uni.to_dict()
+
+    @pytest.mark.parametrize(
+        "scheme,instrument",
+        [(s, i) for _, s, i in catalog_cases()],
+        ids=[c for c, _, _ in catalog_cases()],
+    )
+    def test_fused_loop_matches_reference_stepper(
+        self, machine, scheme, instrument
+    ):
+        apps = ["radix", "fft", "lu-cg", "ocg"]
+        packed = [
+            generate_trace(
+                PROFILES[a], 1500, seed=i, instrument=instrument, packed=True
+            )
+            for i, a in enumerate(apps)
+        ]
+        prime = [r for a in apps for r in prime_ranges(PROFILES[a])]
+        fused = MulticoreSimulator(machine, scheme, 4)
+        fused.prime(prime)
+        fstats = fused.run(packed)
+        ref = MulticoreSimulator(machine, scheme, 4)
+        ref.prime(prime)
+        rstats = ref.run([t.to_events() for t in packed])
+        assert [s.to_dict() for s in fstats.per_core] == [
+            s.to_dict() for s in rstats.per_core
+        ]
+        assert fstats.merged().to_dict() == rstats.merged().to_dict()
+
+    def test_packed_traces_take_the_fused_path(self, machine, monkeypatch):
+        sim = MulticoreSimulator(machine, cwsp(), 2)
+        calls = []
+        orig = sim._run_packed
+        monkeypatch.setattr(
+            sim, "_run_packed", lambda tr: (calls.append(len(tr)), orig(tr))[1]
+        )
+        tr = [
+            generate_trace(
+                PROFILES["radix"], 500, seed=i, instrument="pruned", packed=True
+            )
+            for i in range(2)
+        ]
+        sim.run(tr)
+        assert calls == [2]
+
+    def test_mixed_traces_take_the_reference_stepper(self, machine, monkeypatch):
+        sim = MulticoreSimulator(machine, cwsp(), 2)
+        monkeypatch.setattr(
+            sim, "_run_packed",
+            lambda tr: (_ for _ in ()).throw(AssertionError("fused path taken")),
+        )
+        packed = generate_trace(
+            PROFILES["radix"], 500, seed=0, instrument="pruned", packed=True
+        )
+        legacy = generate_trace(
+            PROFILES["fft"], 500, seed=1, instrument="pruned"
+        )
+        stats = sim.run([packed, legacy])
+        assert stats.insts > 0
+
+
 class TestBehaviour:
     def test_single_core_matches_unicore_sim(self, machine):
         tr = traces(1, 3000)

@@ -113,6 +113,21 @@ def test_byte_identical_serialization(computed, golden):
     assert canonical(computed) == canonical(golden)
 
 
+def test_multicore_fused_loop_matches_golden(golden):
+    """The fused multicore scheduling loop (packed traces) must
+    reproduce the committed multicore golden -- which pins the
+    reference min-clock stepper's output -- bit-for-bit."""
+    machine = skylake_machine(scaled=True)
+    mc_profiles = [PROFILES[a] for a in (APP, "bzip2")]
+    mc_traces = [
+        generate_trace(p, N_INSTS, seed=SEED + i, instrument="pruned", packed=True)
+        for i, p in enumerate(mc_profiles)
+    ]
+    mc_prime = [r for p in mc_profiles for r in prime_ranges(p)]
+    mstats = simulate_multicore(mc_traces, machine, cwsp(), prime=mc_prime)
+    assert canonical(mstats.merged().to_dict()) == canonical(golden["multicore:cwsp"])
+
+
 if __name__ == "__main__":
     import sys
 

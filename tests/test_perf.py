@@ -47,6 +47,7 @@ class TestRegistry:
             "machine.run.cwsp",
             "machine.run.baseline",
             "machine.run.capri",
+            "machine.run_multicore",
             "queues.ops",
             "tracegen.synthetic",
             "harness.cold",
