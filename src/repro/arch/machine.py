@@ -89,6 +89,8 @@ class SimStats:
     rbt_full_stalls = _count_view("rbt.full_stalls")
     wpq_full_stalls = _count_view("wpq.full_stalls")
     wpq_load_hits = _count_view("wpq.load_hits")
+    delayfree_stale_wait_cycles = _float_view("delayfree.stale_wait_cycles")
+    delayfree_sync_stall_cycles = _float_view("delayfree.sync_stall_cycles")
 
     @property
     def ipc(self) -> float:
@@ -101,6 +103,20 @@ class SimStats:
     @property
     def wpq_hits_per_minst(self) -> float:
         return self.wpq_load_hits / (self.insts / 1e6) if self.insts else 0.0
+
+    @property
+    def delay_free_stall_cycles(self) -> float:
+        """Cycles blocked on persistence where a Ben-David-style
+        delay-free design would not block: stale-read ordering waits
+        plus every boundary/sync stall (``boundary_stall_cycles``
+        already includes the fence/atomic slice that
+        ``delayfree_sync_stall_cycles`` breaks out separately)."""
+        return self.delayfree_stale_wait_cycles + self.boundary_stall_cycles
+
+    @property
+    def delay_free_stall_frac(self) -> float:
+        """Fraction of total cycles that are delay-free-violating waits."""
+        return self.delay_free_stall_cycles / self.cycles if self.cycles else 0.0
 
     def merge(self, other: "SimStats") -> "SimStats":
         """Fold another run's records in (multi-core aggregation)."""
@@ -203,6 +219,12 @@ class TimingSimulator:
         self._c_path_bytes = m.counter("path.bytes")
         self._c_wb_delays = m.counter("wb.delays")
         self._c_wpq_hits = m.counter("wpq.load_hits")
+        # Delay-free accounting (Ben-David et al. yardstick): cycles the
+        # core spends blocked on persistence where a delay-free design
+        # would not block -- stale-read ordering waits and the sync-point
+        # (fence/atomic) slice of the boundary stalls.
+        self._c_df_stale = m.counter("delayfree.stale_wait_cycles")
+        self._c_df_sync = m.counter("delayfree.sync_stall_cycles")
 
     # ------------------------------------------------------------------
     def run(self, events: Iterable[Event]) -> SimStats:
@@ -368,6 +390,7 @@ class TimingSimulator:
         n_path_bytes = 0
         n_wb_delays = 0
         n_wpq_hits = 0
+        n_df_stale = 0.0
 
         # Scheduling handshake: park until the caller sends the first
         # (limit_cycle, limit_idx) pair.
@@ -465,6 +488,7 @@ class TimingSimulator:
                         done = wpq_word_done[mc].get(addr >> 3)
                         if done is not None and done > cycle:
                             n_wpq_hits += 1
+                            n_df_stale += done - cycle
                             cycle = done
                 elif penalty > 0:
                     cycle += penalty * mlp
@@ -737,6 +761,7 @@ class TimingSimulator:
         self._c_path_bytes.value += n_path_bytes
         self._c_wb_delays.value += n_wb_delays
         self._c_wpq_hits.value += n_wpq_hits
+        self._c_df_stale.value += n_df_stale
 
     def finalize(self, shared_owner: bool = True) -> SimStats:
         """Drain outstanding persists and collect component metrics.
@@ -778,6 +803,7 @@ class TimingSimulator:
                 done = self.wpq_word_done[mc].get(addr >> 3)
                 if done is not None and done > self.cycle:
                     self._c_wpq_hits.value += 1
+                    self._c_df_stale.value += done - self.cycle
                     self.cycle = done
         elif penalty > 0:
             self.cycle += penalty * self._mlp
@@ -896,6 +922,7 @@ class TimingSimulator:
         target = max(self.region_last_persist, self.prev_region_complete)
         if target > self.cycle:
             self._c_boundary_stall.value += target - self.cycle
+            self._c_df_sync.value += target - self.cycle
             self.cycle = target
 
 

@@ -40,6 +40,17 @@ from repro.faults.injectors import (
     run_first_epoch,
     run_schedule,
 )
+from repro.faults.multicore import (
+    MT_SCHEMES,
+    MT_STRATEGIES,
+    MTCampaignSpec,
+    MTKernelProfile,
+    mt_smoke_spec,
+    profile_conc_kernel,
+    run_mt_campaign,
+    run_mt_schedule,
+    run_mt_trial,
+)
 from repro.faults.schedule import FaultSchedule, FlipSpec, TearSpec, TrialRecord
 from repro.faults.shrink import shrink_schedule
 from repro.faults.strategies import KernelProfile, profile_kernel
@@ -50,6 +61,10 @@ __all__ = [
     "FaultSchedule",
     "FlipSpec",
     "KernelProfile",
+    "MTCampaignSpec",
+    "MTKernelProfile",
+    "MT_SCHEMES",
+    "MT_STRATEGIES",
     "ProbeHook",
     "STRATEGIES",
     "ScheduleOutcome",
@@ -57,10 +72,15 @@ __all__ = [
     "TornPersistInjector",
     "TrialRecord",
     "apply_flip",
+    "mt_smoke_spec",
+    "profile_conc_kernel",
     "profile_kernel",
     "resume_epoch",
     "run_campaign",
     "run_first_epoch",
+    "run_mt_campaign",
+    "run_mt_schedule",
+    "run_mt_trial",
     "run_schedule",
     "run_trial",
     "shrink_schedule",

@@ -1,15 +1,21 @@
 """``python -m repro.faults`` — the adversarial fault-injection CLI.
 
 Campaign mode (default) sweeps fault schedules over the compiled IR
-kernels and fails (exit 1) on any silent divergence; ``repro`` mode
-replays one serialized schedule, which is how every divergence artifact
-is reproduced.
+kernels and fails (exit 1) on any silent divergence; ``--multicore``
+runs the campaign against the concurrent kernel suite on
+``ThreadedExecution`` trials instead (cuts at atomics, per-thread
+boundaries, nested cuts during other threads' recovery, swept
+interleavings); ``repro`` mode replays one serialized schedule, which
+is how every divergence artifact is reproduced.
 
 Examples::
 
     python -m repro.faults --smoke
+    python -m repro.faults --multicore --smoke
     python -m repro.faults --kernels counter,sort --strategies nested,torn --k 3
+    python -m repro.faults --multicore --kernels mpmc_queue --schemes default,skewed
     python -m repro.faults repro --kernel counter --schedule '{"cuts": [57, 4]}'
+    python -m repro.faults repro --kernel mpmc_queue --schedule '{"cuts": [25, 0]}'
 """
 
 from __future__ import annotations
@@ -26,9 +32,17 @@ from repro.faults.campaign import (
     smoke_spec,
     write_artifact,
 )
+from repro.faults.multicore import (
+    MT_SCHEMES,
+    MT_STRATEGIES,
+    MTCampaignSpec,
+    mt_smoke_spec,
+    run_mt_campaign,
+    run_mt_trial,
+)
 from repro.faults.schedule import FaultSchedule
-from repro.harness.report import campaign_result
-from repro.workloads.programs import KERNELS
+from repro.harness.report import campaign_result, mt_campaign_result
+from repro.workloads.programs import CONC_KERNELS, KERNELS
 
 
 def _csv(text: str) -> List[str]:
@@ -36,10 +50,17 @@ def _csv(text: str) -> List[str]:
 
 
 def _campaign_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--kernels", type=_csv, default=list(KERNELS),
-                        help="comma-separated kernel names (default: all)")
-    parser.add_argument("--strategies", type=_csv, default=list(STRATEGIES),
-                        help=f"comma-separated from {','.join(STRATEGIES)}")
+    parser.add_argument("--multicore", action="store_true",
+                        help="campaign over concurrent kernels on "
+                             "ThreadedExecution trials")
+    parser.add_argument("--kernels", type=_csv, default=None,
+                        help="comma-separated kernel names (default: all "
+                             "for the selected mode)")
+    parser.add_argument("--strategies", type=_csv, default=None,
+                        help=f"single-core: {','.join(STRATEGIES)}; "
+                             f"multicore: {','.join(MT_STRATEGIES)}")
+    parser.add_argument("--schemes", type=_csv, default=None,
+                        help=f"multicore config schemes from {','.join(MT_SCHEMES)}")
     parser.add_argument("--seed", type=int, default=1, help="campaign RNG seed")
     parser.add_argument("--k", type=int, default=2, help="nested-crash depth")
     parser.add_argument("--stride", type=int, default=7, help="primary-cut stride")
@@ -50,14 +71,23 @@ def _campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument("--out", default=None, help="write JSON artifact here")
     parser.add_argument("--smoke", action="store_true",
-                        help="fast seeded CI campaign (~30s) over quick kernels")
+                        help="fast seeded CI campaign over quick kernels")
+
+
+def _validate_choices(parser, what: str, given: List[str], valid) -> None:
+    """Satellite: reject bad names up front with the valid list, before
+    any schedule generation or worker pool sees them."""
+    bad = [item for item in given if item not in valid]
+    if bad:
+        parser.error(f"unknown {what} {bad}; choose from {','.join(valid)}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "repro":
         parser = argparse.ArgumentParser(prog="repro.faults repro")
-        parser.add_argument("--kernel", required=True, choices=list(KERNELS))
+        parser.add_argument("--kernel", required=True,
+                            choices=list(KERNELS) + list(CONC_KERNELS))
         parser.add_argument("--schedule", required=True,
                             help="JSON FaultSchedule, as emitted in artifacts")
         opts = parser.parse_args(argv[1:])
@@ -65,7 +95,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             schedule = FaultSchedule.from_json(opts.schedule)
         except (ValueError, KeyError, IndexError, TypeError) as exc:
             parser.error(f"bad --schedule JSON: {exc}")
-        record = run_trial(opts.kernel, schedule)
+        if opts.kernel in CONC_KERNELS:
+            record = run_mt_trial(opts.kernel, schedule)
+        else:
+            record = run_trial(opts.kernel, schedule)
         print(f"{record.status.upper()}: {opts.kernel} {schedule.describe()}")
         if record.detail:
             print(f"  {record.detail}")
@@ -74,30 +107,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.faults", description=__doc__)
     _campaign_args(parser)
     opts = parser.parse_args(argv)
-    bad = [k for k in opts.kernels if k not in KERNELS]
-    if bad:
-        parser.error(f"unknown kernels {bad}; choose from {','.join(KERNELS)}")
-    bad = [s for s in opts.strategies if s not in STRATEGIES]
-    if bad:
-        parser.error(f"unknown strategies {bad}; choose from {','.join(STRATEGIES)}")
-    if opts.smoke:
-        spec = smoke_spec(seed=opts.seed)
-        jobs = max(opts.jobs, 2)
-    else:
-        spec = CampaignSpec(
-            kernels=opts.kernels,
-            strategies=opts.strategies,
-            seed=opts.seed,
-            k=opts.k,
-            stride=opts.stride,
-            stride2=opts.stride2,
-            torn_stride=opts.torn_stride,
-            corruption_trials=opts.corruption_trials,
-            random_trials=opts.random_trials,
+    if not opts.multicore and opts.schemes is not None:
+        parser.error("--schemes only applies to --multicore campaigns")
+
+    if opts.multicore:
+        kernels = opts.kernels if opts.kernels is not None else list(CONC_KERNELS)
+        strategies = (
+            opts.strategies if opts.strategies is not None else list(MT_STRATEGIES)
         )
-        jobs = opts.jobs
-    artifact = run_campaign(spec, jobs=jobs, log=print)
-    print(campaign_result(artifact).format_table())
+        schemes = opts.schemes if opts.schemes is not None else list(MT_SCHEMES)
+        _validate_choices(parser, "kernels", kernels, CONC_KERNELS)
+        _validate_choices(parser, "strategies", strategies, MT_STRATEGIES)
+        _validate_choices(parser, "schemes", schemes, MT_SCHEMES)
+        if opts.smoke:
+            spec = mt_smoke_spec(seed=opts.seed)
+            jobs = max(opts.jobs, 2)
+        else:
+            spec = MTCampaignSpec(
+                kernels=kernels,
+                schemes=schemes,
+                strategies=strategies,
+                seed=opts.seed,
+                stride=opts.stride,
+                stride2=opts.stride2,
+            )
+            jobs = opts.jobs
+        artifact = run_mt_campaign(spec, jobs=jobs, log=print)
+        print(mt_campaign_result(artifact).format_table())
+    else:
+        kernels = opts.kernels if opts.kernels is not None else list(KERNELS)
+        strategies = (
+            opts.strategies if opts.strategies is not None else list(STRATEGIES)
+        )
+        _validate_choices(parser, "kernels", kernels, KERNELS)
+        _validate_choices(parser, "strategies", strategies, STRATEGIES)
+        if opts.smoke:
+            spec = smoke_spec(seed=opts.seed)
+            jobs = max(opts.jobs, 2)
+        else:
+            spec = CampaignSpec(
+                kernels=kernels,
+                strategies=strategies,
+                seed=opts.seed,
+                k=opts.k,
+                stride=opts.stride,
+                stride2=opts.stride2,
+                torn_stride=opts.torn_stride,
+                corruption_trials=opts.corruption_trials,
+                random_trials=opts.random_trials,
+            )
+            jobs = opts.jobs
+        artifact = run_campaign(spec, jobs=jobs, log=print)
+        print(campaign_result(artifact).format_table())
+
     if opts.out:
         write_artifact(artifact, opts.out)
         print(f"artifact written to {opts.out}")

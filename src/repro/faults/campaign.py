@@ -119,10 +119,12 @@ def run_trial(kernel: str, schedule: FaultSchedule) -> TrialRecord:
     return TrialRecord(kernel, schedule, "divergent", detail, epochs=outcome.epochs)
 
 
-def _pool_trial(task: Tuple[str, Dict[str, object]]) -> Dict[str, object]:
-    kernel, sched_dict = task
+def _pool_trial(task: Tuple[int, str, Dict[str, object]]) -> Dict[str, object]:
+    trial_id, kernel, sched_dict = task
     record = run_trial(kernel, FaultSchedule.from_dict(sched_dict))
-    return record.to_dict()
+    out = record.to_dict()
+    out["trial"] = trial_id
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -171,15 +173,17 @@ def run_campaign(
 
     t0 = time.time()
     tasks = build_schedules(spec)
-    # Trial outcomes aggregate order-insensitively, so the fan-out can
-    # hand back results as workers finish (ordered=False).
+    # The fan-out hands back results as workers finish (ordered=False);
+    # resort by trial id so completion order cannot reorder divergences
+    # between identical runs.
     records: List[Dict[str, object]] = parallel_map(
         _pool_trial,
-        [(k, s.to_dict()) for k, s in tasks],
+        [(i, k, s.to_dict()) for i, (k, s) in enumerate(tasks)],
         jobs=jobs,
         chunksize=8,
         ordered=False,
     )
+    records.sort(key=lambda r: r["trial"])
 
     totals = {"trials": len(records), "ok": 0, "completed": 0, "degraded": 0,
               "divergent": 0, "error": 0}

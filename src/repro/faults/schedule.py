@@ -58,6 +58,12 @@ class FaultSchedule:
     flip: Optional[FlipSpec] = None
     #: PersistenceConfig field overrides (e.g. {"pb_size": 8}).
     config: Dict[str, object] = field(default_factory=dict)
+    #: Thread scheduling order for multicore trials (see
+    #: :class:`~repro.recovery.multithread.ThreadedExecution`): each
+    #: round runs the threads in this sequence, entries modulo the
+    #: thread count, missing threads appended.  Empty = round-robin.
+    #: The shrinker minimizes over this dimension too.
+    interleave: List[int] = field(default_factory=list)
     #: Provenance: generating strategy and campaign RNG seed.
     strategy: str = ""
     seed: Optional[int] = None
@@ -80,6 +86,8 @@ class FaultSchedule:
             out["flip"] = [self.flip.target, self.flip.index, self.flip.bit]
         if self.config:
             out["config"] = dict(self.config)
+        if self.interleave:
+            out["interleave"] = list(self.interleave)
         if self.strategy:
             out["strategy"] = self.strategy
         if self.seed is not None:
@@ -95,6 +103,7 @@ class FaultSchedule:
             tear=TearSpec(int(tear)) if tear is not None else None,
             flip=FlipSpec(str(flip[0]), int(flip[1]), int(flip[2])) if flip else None,
             config=dict(data.get("config", {})),
+            interleave=[int(t) for t in data.get("interleave", [])],
             strategy=str(data.get("strategy", "")),
             seed=data.get("seed"),
         )
@@ -123,6 +132,8 @@ class FaultSchedule:
             parts.append(f"flip:{self.flip.target}[{self.flip.index}]^{self.flip.bit}")
         if self.config:
             parts.append("cfg=" + ",".join(f"{k}={v}" for k, v in self.config.items()))
+        if self.interleave:
+            parts.append("ilv=" + ",".join(str(t) for t in self.interleave))
         return " ".join(parts) or "clean"
 
     def but(self, **changes) -> "FaultSchedule":

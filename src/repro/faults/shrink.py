@@ -39,6 +39,15 @@ def _candidates(s: FaultSchedule) -> Iterator[FaultSchedule]:
     if s.tear is not None and s.cuts:
         # Trade the tear for a plain cut at the front (simpler fault).
         yield s.but(tear=None, cuts=[1] + list(s.cuts))
+    # Interleaving (multicore schedules): plain round-robin is the
+    # simplest order, then peel pattern entries, then shrink thread ids.
+    if s.interleave:
+        yield s.but(interleave=[])
+        if len(s.interleave) > 1:
+            yield s.but(interleave=s.interleave[:-1])
+    for i, tid in enumerate(s.interleave):
+        for v in _shrunk_ints(tid, 0):
+            yield s.but(interleave=s.interleave[:i] + [v] + s.interleave[i + 1 :])
     # Numeric shrinking.
     if s.tear is not None:
         for v in _shrunk_ints(s.tear.apply_index, 1):

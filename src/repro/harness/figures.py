@@ -672,10 +672,14 @@ def faults_campaign() -> FigureResult:
     """A small seeded adversarial fault campaign (beyond the paper).
 
     Nested crashes, torn persists, corrupted logs/checkpoints, and
-    boundary-state cuts over two kernels; the full campaign is
-    ``python -m repro.faults`` (see ``--smoke`` for the CI gate).
+    boundary-state cuts over two single-threaded kernels, plus the
+    multicore campaign (cuts at atomics and during other threads'
+    recovery, swept interleavings) over three concurrent kernels; the
+    full campaigns are ``python -m repro.faults`` and
+    ``python -m repro.faults --multicore`` (``--smoke`` is the CI gate).
     """
     from repro.faults.campaign import CampaignSpec, run_campaign
+    from repro.faults.multicore import MTCampaignSpec, run_mt_campaign
     from repro.harness.report import campaign_result
 
     spec = CampaignSpec(
@@ -687,11 +691,101 @@ def faults_campaign() -> FigureResult:
         torn_stride=29,
         corruption_trials=12,
     )
-    return campaign_result(run_campaign(spec))
+    result = campaign_result(run_campaign(spec))
+
+    mt_spec = MTCampaignSpec(
+        kernels=["mpmc_queue", "treiber_stack", "ticket_counter"],
+        strategies=["mt-atomic", "mt-nested", "mt-interleave"],
+        seed=1,
+        stride=31,
+        stride2=19,
+        atomic_stride=3,
+        interleave_stride=47,
+    )
+    mt_artifact = run_mt_campaign(mt_spec)
+    mt_totals = mt_artifact["totals"]
+    for kernel in sorted(mt_artifact["per_kernel"]):
+        schemes = mt_artifact["per_kernel"][kernel]
+        for scheme in sorted(schemes):
+            for strategy in sorted(schemes[scheme]):
+                cell = schemes[scheme][strategy]
+                result.add(
+                    f"{kernel}[{scheme}]",
+                    strategy,
+                    cell.get("trials", 0),
+                    cell.get("ok", 0) + cell.get("completed", 0),
+                    cell.get("degraded", 0),
+                    cell.get("divergent", 0) + cell.get("error", 0),
+                )
+    result.summary["trials"] += float(mt_totals.get("trials", 0))
+    result.summary["divergent"] += float(
+        mt_totals.get("divergent", 0) + mt_totals.get("error", 0)
+    )
+    result.summary["degraded"] += float(mt_totals.get("degraded", 0))
+    result.summary["mt_trials"] = float(mt_totals.get("trials", 0))
+    waits = [
+        cell["wait_per_sync"]
+        for kernel in mt_artifact["delay_free"].values()
+        for cell in kernel.values()
+    ]
+    result.summary["mt_wait_per_sync_max"] = max(waits) if waits else 0.0
+    return result
 
 
 def _check_faults(result: FigureResult) -> None:
     assert result.summary["divergent"] == 0.0, "no silent divergences allowed"
+    assert result.summary["mt_trials"] > 0, "multicore campaign must contribute"
+
+
+# ----------------------------------------------------------------------
+# Delay-free stall accounting (Ben-David et al. yardstick)
+# ----------------------------------------------------------------------
+def _delayfree(r: Resolver, ctx: PlanContext) -> FigureResult:
+    """Fraction of cycles each WSP scheme spends blocked on persistence
+    where a delay-free durable algorithm would not block: stale-read
+    ordering waits plus fence/atomic/boundary persist stalls."""
+    machine = skylake_machine(scaled=True)
+    result = FigureResult(
+        "Delay-free",
+        "Delay-free-violating stall cycles as a fraction of runtime "
+        "(atomic-heavy multithreaded suites; baseline = no persistence, control)",
+        ["app", "baseline", "cWSP", "Capri", "ReplayCache"],
+        paper_says=(
+            "not in the paper; Ben-David et al.'s delay-free model says a "
+            "design should never block an op on others' persists -- this "
+            "quantifies the waits cWSP's sync-point drains mandate anyway"
+        ),
+    )
+    apps = [a for a in ALL_APPS if PROFILES[a].suite in ("SPLASH3", "WHISPER", "STAMP")]
+    per_app: Dict[str, List[float]] = {}
+    for app in apps:
+        row = [
+            r.stats(app, baseline(), machine, None).delay_free_stall_frac,
+            r.stats(app, cwsp(), machine, "pruned").delay_free_stall_frac,
+            r.stats(app, capri(), machine, "unpruned").delay_free_stall_frac,
+            r.stats(app, replaycache(), machine, "unpruned").delay_free_stall_frac,
+        ]
+        per_app[app] = row
+        result.add(app, *row)
+    means = [
+        sum(per_app[a][i] for a in per_app) / len(per_app) for i in range(4)
+    ]
+    result.add("[mean]", *means)
+    result.summary = {
+        "baseline_mean": means[0],
+        "cwsp_mean": means[1],
+        "capri_mean": means[2],
+        "replaycache_mean": means[3],
+    }
+    return result
+
+
+def _check_delayfree(result: FigureResult) -> None:
+    assert result.summary["baseline_mean"] == 0.0, (
+        "baseline persists nothing, so its delay-free stall must be zero"
+    )
+    for key in ("cwsp_mean", "capri_mean", "replaycache_mean"):
+        assert 0.0 <= result.summary[key] < 1.0, f"{key} must be a fraction"
 
 
 # ----------------------------------------------------------------------
@@ -737,6 +831,10 @@ SPECS: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "faults", "adversarial fault campaign",
             lambda r, ctx: faults_campaign(), simulates=False, check=_check_faults,
+        ),
+        ExperimentSpec(
+            "delayfree", "delay-free stall accounting", _delayfree,
+            check=_check_delayfree,
         ),
     ]
 }
@@ -806,6 +904,7 @@ fig25 = _entry("fig25")
 fig26 = _entry("fig26")
 fig27 = _entry("fig27")
 hardware_overhead = _entry("hw")
+delayfree = _entry("delayfree")
 
 
 def multicore(n_insts: Optional[int] = None, n_cores: int = 8) -> FigureResult:
@@ -838,6 +937,7 @@ ALL_EXPERIMENTS: Dict[str, object] = {
     "multicore": multicore,
     "recovery": recovery_check,
     "faults": faults_campaign,
+    "delayfree": delayfree,
 }
 
 

@@ -136,3 +136,50 @@ def campaign_result(artifact: Dict) -> FigureResult:
         "degraded": float(totals.get("degraded", 0)),
     }
     return result
+
+
+def mt_campaign_result(artifact: Dict) -> FigureResult:
+    """Render a *multicore* campaign artifact as a FigureResult.
+
+    One row per (kernel, scheme, strategy) cell, carrying that
+    kernel/scheme's delay-free wait account (drain opportunities burned
+    per sync point in a clean run) next to the trial verdicts.
+    """
+    meta = artifact.get("meta", {})
+    totals = artifact.get("totals", {})
+    n_div = totals.get("divergent", 0) + totals.get("error", 0)
+    status = "all consistent-or-degraded" if n_div == 0 else f"{n_div} DIVERGENCES"
+    result = FigureResult(
+        "FaultsMT",
+        f"Multicore fault campaign (seed {meta.get('seed')}): {status}",
+        ["kernel", "scheme", "strategy", "trials", "ok", "degraded",
+         "divergent", "wait/sync"],
+        paper_says=(
+            "Section VIII argues DRF threads recover independently; the "
+            "campaign cuts power at atomics, boundaries, and during other "
+            "threads' recovery, across interleavings"
+        ),
+    )
+    delay_free = artifact.get("delay_free", {})
+    for kernel in sorted(artifact.get("per_kernel", {})):
+        schemes = artifact["per_kernel"][kernel]
+        for scheme in sorted(schemes):
+            wait = delay_free.get(kernel, {}).get(scheme, {}).get("wait_per_sync", 0.0)
+            for strategy in sorted(schemes[scheme]):
+                cell = schemes[scheme][strategy]
+                result.add(
+                    kernel,
+                    scheme,
+                    strategy,
+                    cell.get("trials", 0),
+                    cell.get("ok", 0) + cell.get("completed", 0),
+                    cell.get("degraded", 0),
+                    cell.get("divergent", 0) + cell.get("error", 0),
+                    float(wait),
+                )
+    result.summary = {
+        "trials": float(totals.get("trials", 0)),
+        "divergent": float(n_div),
+        "degraded": float(totals.get("degraded", 0)),
+    }
+    return result

@@ -199,6 +199,17 @@ class FunctionalPersistence:
         self.max_rbt_occupancy = 0
         self.rbt_forced_drains = 0
         self.pb_forced_drains = 0
+        #: Delay-free wait accounting (Ben-David et al. yardstick): a
+        #: delay-free design never blocks an operation on other
+        #: operations' persists, but cWSP's synchronization points
+        #: (atomics, fences) drain the whole persist pipeline
+        #: synchronously.  ``sync_points`` counts those events and
+        #: ``sync_wait_slots`` the drain opportunities each one had to
+        #: burn before its queues ran dry -- the mandated wait a
+        #: delay-free algorithm would not pay.
+        self.sync_points = 0
+        self.sync_wait_slots = 0
+        self._drain_ops = 0
         self._open_region(func="", boundary_uid=-1)  # pre-entry region
 
     def seed_nvm(self, image: Dict[int, int]) -> None:
@@ -324,9 +335,9 @@ class FunctionalPersistence:
             # undo-logged (like checkpoint-slot writes), and the
             # synchronization point persists synchronously.
             self._on_store(ev.addr, ev.value, force_log=True)
-            self.drain_all()
+            self._synchronous_drain()
         elif kind == "fence":
-            self.drain_all()
+            self._synchronous_drain()
         elif kind == "out":
             self._current_region().outputs.append(ev.value)
         self._pump()
@@ -374,8 +385,18 @@ class FunctionalPersistence:
             self._drain_credit -= 1.0
             self._drain_one()
 
+    def _synchronous_drain(self) -> None:
+        """A sync point (atomic/fence) drains the pipeline synchronously,
+        charging the burned drain opportunities to the delay-free wait
+        account (see the ``sync_wait_slots`` docstring in __init__)."""
+        before = self._drain_ops
+        self.drain_all()
+        self.sync_points += 1
+        self.sync_wait_slots += self._drain_ops - before
+
     def _drain_one(self) -> None:
         """One drain opportunity: move a PB entry and apply MC heads."""
+        self._drain_ops += 1
         if self.fault_hook is not None:
             self.fault_hook(self, "drain", None)
         if self.pb:

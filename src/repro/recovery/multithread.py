@@ -12,13 +12,20 @@ This module realizes that argument executably:
 - threads are interpreted round-robin with switches only at region
   boundaries (for DRF programs, boundary-granular interleaving is
   adequate: conflicting accesses are separated by atomics, which are
-  single-instruction regions that persist synchronously);
+  single-instruction regions that persist synchronously); the
+  scheduling order is controllable (``interleave``), which is the
+  dimension the multicore fault campaign minimizes over;
 - all threads share one NVM/persist model
   (:class:`FunctionalPersistence` extended with per-thread RBTs and
   per-thread recovery pointers -- region IDs are globally unique, as
   the paper's hardware counter guarantees);
 - on power failure, the surviving undo logs revert in reverse global
-  order, and every thread resumes from its own recovery pointer.
+  order, and every thread resumes from its own recovery pointer;
+- recovery itself runs under a *fresh* tracked model
+  (:meth:`ThreadedPersistence.for_resume`), so power can fail again
+  during a resumed epoch -- including while some thread is still
+  re-executing its recovery region (a cut "during another thread's
+  recovery") -- and the next recovery faces a consistent image.
 
 Because the post-recovery interleaving is a *different* admissible DRF
 schedule, outcome comparison is meaningful for confluent programs
@@ -29,7 +36,7 @@ checker's workloads use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.function import Module
 from repro.ir.interpreter import Frame, Interpreter, MachineState, Memory, TraceEvent
@@ -39,9 +46,8 @@ from repro.recovery.model import (
     PersistenceConfig,
     PowerFailure,
     RegionRecord,
-    snapshot_state,
 )
-from repro.recovery.protocol import RecoveryError
+from repro.recovery.protocol import DegradedRecovery, RecoveryError, assess_damage
 
 _STACK_STRIDE = 1 << 20
 _HEAP_STRIDE = 1 << 24
@@ -75,6 +81,44 @@ class ThreadedPersistence(FunctionalPersistence):
             self.current_thread = tid
             self._open_region(func="", boundary_uid=-1)
         self.current_thread = 0
+
+    @classmethod
+    def for_resume(
+        cls,
+        module: Module,
+        n_threads: int,
+        nvm: Dict[int, int],
+        thread_ptrs: Sequence[Optional[Tuple[str, int, int]]],
+        thread_snaps: Sequence[Optional[BoundarySnapshot]],
+        config: Optional[PersistenceConfig] = None,
+    ) -> "ThreadedPersistence":
+        """Model for a *resumed* multi-threaded epoch after power failure.
+
+        Each thread's pre-entry region is re-keyed to that thread's
+        recovery point (mirroring the single-thread
+        :meth:`FunctionalPersistence.for_resume`): its re-execution is
+        the thread's new head, the per-thread recovery pointer still
+        names it, and the boundary's oracle snapshot carries over -- so
+        a second failure during the resumed epoch recovers every thread
+        to the same point until real progress retires it.  A ``None``
+        pointer means that thread restarts from its entry.
+        """
+        model = cls(module, n_threads, config)
+        model.seed_nvm(nvm)
+        for tid, ptr in enumerate(thread_ptrs):
+            if ptr is None:
+                continue
+            func, boundary_uid, _old_seq = ptr
+            pre = model.regions[model.thread_rbt[tid][0]]
+            pre.func = func
+            pre.boundary_uid = boundary_uid
+            model.thread_recovery_ptr[tid] = (func, boundary_uid, pre.seq)
+            snap = thread_snaps[tid]
+            if snap is not None:
+                model.snapshots[pre.seq] = BoundarySnapshot(
+                    seq=pre.seq, frames=snap.frames, sp=snap.sp, brk=snap.brk
+                )
+        return model
 
     # -- region lifecycle, per thread ----------------------------------
     def _open_region(self, func: str, boundary_uid: int) -> None:
@@ -154,10 +198,47 @@ class ThreadedRun:
     completed: bool
     outputs: List[List[int]] = field(default_factory=list)
     memory: Optional[Memory] = None
+    #: Committed events before completion or the cut (excludes the
+    #: pre-run argument spills, which precede the event counter).
+    events: int = 0
+
+
+@dataclass
+class ThreadedEpoch:
+    """One resumed multi-threaded epoch (nested-crash machinery).
+
+    ``kind`` is ``"completed"`` (all threads ran to the end; ``outputs``
+    holds each thread's outs from *this epoch only* -- released prefixes
+    from earlier epochs are the caller's to accumulate), ``"cut"``
+    (power failed again after ``events`` committed events; ``model`` is
+    the new epoch's tracked model, ready for another recovery), or
+    ``"degraded"`` (storage damage made resuming unsafe).
+    """
+
+    kind: str  # "completed" | "cut" | "degraded"
+    model: Optional[ThreadedPersistence] = None
+    outputs: Optional[List[List[int]]] = None
+    memory: Optional[Memory] = None
+    degraded: Optional[DegradedRecovery] = None
+    events: int = 0
+
+
+#: Observer for profiling runs: called after each committed event with
+#: (event, running_event_count, thread_id).
+EventObserver = Callable[[TraceEvent, int, int], None]
 
 
 class ThreadedExecution:
-    """Round-robin, boundary-granular execution of N threads."""
+    """Round-robin, boundary-granular execution of N threads.
+
+    ``interleave`` controls the scheduling order: each round runs the
+    threads in that sequence (entries taken modulo the thread count;
+    repeats give a thread several boundary-slices per round; any thread
+    missing from the pattern is appended so the order always covers all
+    threads).  ``None`` is plain round-robin.  The post-recovery epoch
+    uses the same order, so a fault schedule pins down both *when*
+    power dies and *how* the threads were interleaved around it.
+    """
 
     def __init__(
         self,
@@ -165,12 +246,17 @@ class ThreadedExecution:
         threads: Sequence[ThreadSpec],
         config: Optional[PersistenceConfig] = None,
         max_steps: int = 5_000_000,
+        interleave: Optional[Sequence[int]] = None,
     ) -> None:
         self.module = module
         self.threads = list(threads)
         self.config = config
         self.max_steps = max_steps
         self.interp = Interpreter(module, spill_args=True)
+        n = len(self.threads)
+        order = [t % n for t in interleave] if interleave else list(range(n))
+        order += [t for t in range(n) if t not in order]
+        self.order: List[int] = order
 
     def _fresh_states(self, memory: Memory) -> List[MachineState]:
         states = []
@@ -186,45 +272,43 @@ class ThreadedExecution:
             states.append(state)
         return states
 
-    def run(self, fail_after_event: Optional[int] = None) -> ThreadedRun:
-        """Execute all threads; optionally cut power mid-run."""
-        model = ThreadedPersistence(self.module, len(self.threads), self.config)
-        memory = Memory()
-        states = self._fresh_states(memory)
-        # Spill each thread's entry arguments.
-        for tid, spec in enumerate(self.threads):
-            model.current_thread = tid
-            fn = self.module.get(spec.entry)
-            for p in fn.params:
-                self.interp._spill(
-                    states[tid], spec.entry, p, states[tid].frames[0].regs[p], model.on_event
-                )
+    def _drive(
+        self,
+        model: ThreadedPersistence,
+        states: List[MachineState],
+        fail_after_event: Optional[int],
+        observe: Optional[EventObserver] = None,
+    ) -> Tuple[bool, int]:
+        """Run all threads in ``self.order`` until completion or a cut.
+
+        Returns ``(completed, committed_events)``.  On completion the
+        model is finished (everything drained and retired).
+        """
         counter = [0]
 
         def on_event(ev: TraceEvent) -> None:
             model.on_event(ev)
             counter[0] += 1
+            if observe is not None:
+                observe(ev, counter[0], model.current_thread)
             if fail_after_event is not None and counter[0] >= fail_after_event:
                 raise PowerFailure()
 
-        def on_boundary(ev: TraceEvent, state: MachineState) -> None:
-            model.on_boundary(ev, state)
-
         def stop_switch(ev: TraceEvent, state: MachineState) -> None:
-            on_boundary(ev, state)
+            model.on_boundary(ev, state)
             on_event(ev)
             raise _Switch()
 
-        live = [True] * len(states)
+        live = [bool(s.frames) for s in states]
         try:
             while any(live):
-                for tid, state in enumerate(states):
+                for tid in self.order:
                     if not live[tid]:
                         continue
                     model.current_thread = tid
                     try:
                         self.interp.resume(
-                            state,
+                            states[tid],
                             max_steps=self.max_steps,
                             on_event=on_event,
                             on_boundary=stop_switch,
@@ -233,44 +317,104 @@ class ThreadedExecution:
                     except _Switch:
                         pass
         except PowerFailure:
-            return ThreadedRun(model=model, completed=False)
+            return False, counter[0]
         model.finish()
+        return True, counter[0]
+
+    def run(
+        self,
+        fail_after_event: Optional[int] = None,
+        observe: Optional[EventObserver] = None,
+    ) -> ThreadedRun:
+        """Execute all threads; optionally cut power mid-run."""
+        model = ThreadedPersistence(self.module, len(self.threads), self.config)
+        memory = Memory()
+        states = self._fresh_states(memory)
+        # Spill each thread's entry arguments (tracked, but ahead of the
+        # cut counter: the cut offsets count committed instructions).
+        for tid, spec in enumerate(self.threads):
+            model.current_thread = tid
+            fn = self.module.get(spec.entry)
+            for p in fn.params:
+                self.interp._spill(
+                    states[tid], spec.entry, p, states[tid].frames[0].regs[p], model.on_event
+                )
+        completed, events = self._drive(model, states, fail_after_event, observe)
+        if not completed:
+            return ThreadedRun(model=model, completed=False, events=events)
         return ThreadedRun(
             model=model,
             completed=True,
             outputs=[list(s.output) for s in states],
             memory=memory,
+            events=events,
         )
 
     # ------------------------------------------------------------------
-    def recover_and_resume(self, model: ThreadedPersistence) -> ThreadedRun:
-        """Section VIII recovery: revert logs once, then every thread
-        independently resumes from its own recovery pointer."""
-        nvm = model.failure_image()
-        memory = Memory(nvm)
-        states: List[Optional[MachineState]] = []
+    def resume_epoch(
+        self,
+        model: ThreadedPersistence,
+        fail_after_event: Optional[int] = None,
+        validate: bool = True,
+    ) -> ThreadedEpoch:
+        """Section VIII recovery as one epoch of the nested-crash game.
+
+        Step 1 reverts the surviving undo logs in reverse global order
+        (checksum-validated; damage degrades gracefully).  Steps 2-3
+        replay every thread's recovery slice independently against its
+        own checkpoint storage and resume all threads under a *fresh*
+        tracked model, so power can fail again ``fail_after_event``
+        committed events into the resumed epoch.  Offset 0 cuts power
+        during recovery itself: the replay wrote nothing persistent, so
+        the next epoch faces the same image and the same per-thread
+        recovery pointers (idempotent recovery).  Small offsets land
+        while some threads are still re-executing their recovery
+        regions -- a cut during another thread's recovery.
+        """
+        image = model.failure_image_checked()
+        degraded = assess_damage(self.module, model, image)
+        if degraded is not None:
+            return ThreadedEpoch(kind="degraded", degraded=degraded)
+        ptrs = list(model.thread_recovery_ptr)
+        snaps = [model.snapshots.get(p[2]) if p is not None else None for p in ptrs]
+        new_model = ThreadedPersistence.for_resume(
+            self.module, len(self.threads), image.nvm, ptrs, snaps, self.config
+        )
+        if fail_after_event is not None and fail_after_event == 0:
+            return ThreadedEpoch(kind="cut", model=new_model)
+        memory = Memory(image.nvm)
+        states: List[MachineState] = []
         fresh = self._fresh_states(memory)
-        resumed_outputs: List[List[int]] = []
         for tid, spec in enumerate(self.threads):
-            ptr = model.thread_recovery_ptr[tid]
+            ptr = ptrs[tid]
             if ptr is None:
+                # Nothing of this thread survived: restart it from its
+                # entry (re-spill its arguments through the new model).
                 state = fresh[tid]
-                if self.module.get(spec.entry).params:
-                    for p in self.module.get(spec.entry).params:
-                        model.current_thread = tid
-                        self.interp._spill(
-                            state, spec.entry, p, state.frames[0].regs[p], None
-                        )
+                new_model.current_thread = tid
+                for p in self.module.get(spec.entry).params:
+                    self.interp._spill(
+                        state, spec.entry, p, state.frames[0].regs[p], new_model.on_event
+                    )
             else:
                 func, buid, seq = ptr
                 rslice = self.module.recovery_slices.get((func, buid))
                 if rslice is None:
                     raise RecoveryError(f"no recovery slice for @{func}#{buid}")
-                snap = model.snapshots.get(seq)
+                snap = snaps[tid]
                 if snap is None:
                     raise RecoveryError(f"no snapshot for region seq {seq}")
                 ckpt_base = fresh[tid].ckpt_base  # this core's slot storage
                 restored = rslice.execute(self.module, memory, ckpt_base)
+                if validate:
+                    oracle = snap.frames[-1].regs
+                    for reg, value in restored.items():
+                        if reg in oracle and oracle[reg] != value:
+                            raise RecoveryError(
+                                f"thread {tid}: RS restored %{reg.name}={value}, "
+                                f"execution had {oracle[reg]} (boundary "
+                                f"@{func}#{buid})"
+                            )
                 state = MachineState()
                 state.memory = memory
                 state.ckpt_base = ckpt_base
@@ -288,28 +432,37 @@ class ThreadedExecution:
                 state.sp = snap.sp
                 state.brk = snap.brk
             states.append(state)
-        # Resume round-robin until all threads finish (no second failure).
-        live = [bool(s.frames) for s in states]
+        completed, events = self._drive(new_model, states, fail_after_event)
+        if not completed:
+            return ThreadedEpoch(kind="cut", model=new_model, events=events)
+        return ThreadedEpoch(
+            kind="completed",
+            model=new_model,
+            outputs=[list(s.output) for s in states],
+            memory=memory,
+            events=events,
+        )
 
-        def stop_switch(ev: TraceEvent, state: MachineState) -> None:
-            raise _Switch()
-
-        while any(live):
-            for tid, state in enumerate(states):
-                if not live[tid]:
-                    continue
-                try:
-                    self.interp.resume(
-                        state, max_steps=self.max_steps, on_boundary=stop_switch
-                    )
-                    live[tid] = False
-                except _Switch:
-                    pass
+    def recover_and_resume(self, model: ThreadedPersistence) -> ThreadedRun:
+        """Section VIII recovery: revert logs once, then every thread
+        independently resumes from its own recovery pointer and runs to
+        completion (single-recovery convenience over
+        :meth:`resume_epoch`)."""
+        epoch = self.resume_epoch(model)
+        if epoch.kind == "degraded":
+            raise RecoveryError(f"degraded recovery: {epoch.degraded.reason}")
+        assert epoch.kind == "completed"
         outputs = [
-            model.thread_released[tid] + list(states[tid].output)
-            for tid in range(len(states))
+            model.thread_released[tid] + epoch.outputs[tid]
+            for tid in range(len(self.threads))
         ]
-        return ThreadedRun(model=model, completed=True, outputs=outputs, memory=memory)
+        return ThreadedRun(
+            model=model,
+            completed=True,
+            outputs=outputs,
+            memory=epoch.memory,
+            events=epoch.events,
+        )
 
 
 def check_threaded_crash_consistency(

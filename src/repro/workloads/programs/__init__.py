@@ -9,6 +9,7 @@ about -- and they are the subjects of the recovery experiments.
 ``build_kernel(name)`` returns ``(module, entry, args)``.
 """
 
+from repro.workloads.programs.concurrent import CONC_KERNELS, build_conc_kernel
 from repro.workloads.programs.kernels import KERNELS, build_kernel
 
-__all__ = ["KERNELS", "build_kernel"]
+__all__ = ["KERNELS", "build_kernel", "CONC_KERNELS", "build_conc_kernel"]

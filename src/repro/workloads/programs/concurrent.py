@@ -1,0 +1,255 @@
+"""Concurrent persistent data-structure kernels (multicore fault suite).
+
+Lock-free-style queue/stack/hashmap/counter kernels in the shape of
+Aksenov et al.'s durable data structures: every cross-thread
+interaction goes through an ``atomic`` RMW (a synchronization region
+boundary under cWSP), everything else touches thread-private words, so
+the programs are data-race-free and *confluent* -- each thread's
+``out`` values and the canonical ``digest`` of final NVM state are
+independent of the interleaving.  That is what makes them usable as
+crash-consistency oracles: a recovered run takes a *different*
+admissible DRF schedule than the reference, and only confluent
+workloads make those comparable.
+
+Each builder returns ``(module, threads, digest)`` where ``threads``
+is the :class:`~repro.recovery.multithread.ThreadSpec` list and
+``digest(memory)`` folds the shared structure's final state into a
+canonical (sorted, schedule-independent) JSON-able value.
+
+The kernels stress distinct recovery mechanisms:
+
+- ``mpmc_queue`` / ``ticket_counter``: a hot shared counter claimed by
+  atomic fetch-add -- cross-core undo-log revert order on one word;
+- ``treiber_stack``: publication by ``xchg`` whose *result* is consumed
+  in the next region -- cross-boundary register checkpointing;
+- ``hashmap_hot`` / ``hashmap_wide``: per-bucket atomic accumulation at
+  two contention profiles (2 buckets vs 16).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Module
+from repro.ir.interpreter import Memory
+from repro.ir.values import Reg
+from repro.recovery.multithread import ThreadSpec
+
+Q_BASE = 0x08A0_0000
+Q_TAIL = 0x08A1_0000
+STACK_HEAD = 0x08A2_0000
+NODE_ARENA = 0x08A3_0000
+BUCKET_BASE = 0x08A4_0000
+TICKET = 0x08A5_0000
+TICKET_LOG = 0x08A6_0000
+
+#: A concurrent kernel: module, thread entry specs, canonical digest.
+ConcKernel = Tuple[Module, List[ThreadSpec], Callable[[Memory], dict]]
+
+
+def build_mpmc_queue(n_threads: int = 2, pushes: int = 4) -> ConcKernel:
+    """Bounded MPMC-style queue: producers claim slots by fetch-add on a
+    shared tail, then fill their claimed (now-private) slot."""
+    module = Module("mpmc_queue")
+    b = IRBuilder(module)
+    b.function("producer", ["tid"])
+    tail = b.const(Q_TAIL, Reg("tail"))
+    b.const(0, Reg("i"))
+    b.const(0, Reg("sum"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    fin = b.add_block("fin")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), pushes)
+    b.cbr(c, body, fin)
+    b.set_block(body)
+    slot = b.atomic("add", Reg("tail"), 1)  # returns old tail: our slot
+    t100 = b.mul(Reg("tid"), 100)
+    v1 = b.mul(Reg("i"), 7)
+    b.add(b.add(t100, v1), 1, Reg("v"))
+    off = b.shl(slot, 3)
+    b.store(Reg("v"), b.add(Q_BASE, off))
+    b.add(Reg("sum"), Reg("v"), Reg("sum"))
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(fin)
+    b.out(Reg("sum"))
+    b.ret(Reg("sum"))
+
+    threads = [ThreadSpec("producer", (t,)) for t in range(n_threads)]
+
+    def digest(memory: Memory) -> dict:
+        tail = memory.load(Q_TAIL)
+        values = sorted(memory.load(Q_BASE + 8 * i) for i in range(tail))
+        return {"tail": tail, "values": values}
+
+    return module, threads, digest
+
+
+def build_treiber_stack(n_threads: int = 2, pushes: int = 4) -> ConcKernel:
+    """Treiber-style push: publish the node by ``xchg`` on the head,
+    link ``node->next`` from the xchg result in the *following* region
+    (so recovery must restore that register from checkpoint storage)."""
+    module = Module("treiber_stack")
+    b = IRBuilder(module)
+    b.function("pusher", ["tid"])
+    head = b.const(STACK_HEAD, Reg("head"))
+    arena_off = b.shl(Reg("tid"), 16)
+    b.add(NODE_ARENA, arena_off, Reg("arena"))
+    b.const(0, Reg("i"))
+    b.const(0, Reg("sum"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    fin = b.add_block("fin")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), pushes)
+    b.cbr(c, body, fin)
+    b.set_block(body)
+    noff = b.shl(Reg("i"), 4)
+    node = b.add(Reg("arena"), noff, Reg("node"))
+    t100 = b.mul(Reg("tid"), 100)
+    v1 = b.mul(Reg("i"), 13)
+    b.add(b.add(t100, v1), 1, Reg("v"))
+    b.store(Reg("v"), Reg("node"), 8)            # node->val (private)
+    old = b.atomic("xchg", Reg("head"), Reg("node"))  # publish
+    b.store(old, Reg("node"))                    # node->next = old head
+    b.add(Reg("sum"), Reg("v"), Reg("sum"))
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(fin)
+    b.out(Reg("sum"))
+    b.ret(Reg("sum"))
+
+    threads = [ThreadSpec("pusher", (t,)) for t in range(n_threads)]
+    total = n_threads * pushes
+
+    def digest(memory: Memory) -> dict:
+        values = []
+        cur = memory.load(STACK_HEAD)
+        steps = 0
+        while cur != 0 and steps <= total:
+            values.append(memory.load(cur + 8))
+            cur = memory.load(cur)
+            steps += 1
+        if cur != 0:
+            return {"broken": "cycle-or-overlong-chain"}
+        return {"count": len(values), "values": sorted(values)}
+
+    return module, threads, digest
+
+
+def _build_hash_accumulate(
+    name: str, n_buckets: int, n_threads: int, inserts: int
+) -> ConcKernel:
+    module = Module(name)
+    b = IRBuilder(module)
+    b.function("inserter", ["tid"])
+    b.const(0, Reg("i"))
+    b.const(0, Reg("sum"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    fin = b.add_block("fin")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), inserts)
+    b.cbr(c, body, fin)
+    b.set_block(body)
+    k1 = b.mul(Reg("tid"), 977)
+    k2 = b.mul(Reg("i"), 131)
+    key = b.add(k1, k2)
+    h = b.mul(key, 2654435761)
+    bucket = b.and_(h, n_buckets - 1)
+    off = b.shl(bucket, 3)
+    slot = b.add(BUCKET_BASE, off)
+    t1000 = b.mul(Reg("tid"), 1000)
+    v1 = b.mul(Reg("i"), 3)
+    b.add(b.add(t1000, v1), 1, Reg("v"))
+    b.atomic("add", slot, Reg("v"))              # commutative accumulate
+    b.add(Reg("sum"), Reg("v"), Reg("sum"))
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(fin)
+    b.out(Reg("sum"))
+    b.ret(Reg("sum"))
+
+    threads = [ThreadSpec("inserter", (t,)) for t in range(n_threads)]
+
+    def digest(memory: Memory) -> dict:
+        return {"buckets": [memory.load(BUCKET_BASE + 8 * i) for i in range(n_buckets)]}
+
+    return module, threads, digest
+
+
+def build_hashmap_hot(n_threads: int = 2, inserts: int = 5) -> ConcKernel:
+    """High contention: every insert lands in one of 2 buckets."""
+    return _build_hash_accumulate("hashmap_hot", 2, n_threads, inserts)
+
+
+def build_hashmap_wide(n_threads: int = 2, inserts: int = 5) -> ConcKernel:
+    """Low contention: inserts spread over 16 buckets."""
+    return _build_hash_accumulate("hashmap_wide", 16, n_threads, inserts)
+
+
+def build_ticket_counter(n_threads: int = 3, draws: int = 3) -> ConcKernel:
+    """Hot ticket lock acquire loop: each draw must be globally unique
+    and none may be lost or duplicated across crashes -- the digest
+    checks the drawn set is exactly ``0..total-1``."""
+    module = Module("ticket_counter")
+    b = IRBuilder(module)
+    b.function("drawer", ["tid"])
+    tick = b.const(TICKET, Reg("tick"))
+    log_off = b.shl(Reg("tid"), 12)
+    b.add(TICKET_LOG, log_off, Reg("log"))
+    b.const(0, Reg("i"))
+    loop = b.add_block("loop")
+    body = b.add_block("body")
+    fin = b.add_block("fin")
+    b.br(loop)
+    b.set_block(loop)
+    c = b.cmp("slt", Reg("i"), draws)
+    b.cbr(c, body, fin)
+    b.set_block(body)
+    t = b.atomic("add", Reg("tick"), 1)          # my globally-unique ticket
+    off = b.shl(Reg("i"), 3)
+    b.store(t, b.add(Reg("log"), off))
+    b.add(Reg("i"), 1, Reg("i"))
+    b.br(loop)
+    b.set_block(fin)
+    b.out(Reg("i"))                              # draws completed (constant)
+    b.ret(Reg("i"))
+
+    threads = [ThreadSpec("drawer", (t,)) for t in range(n_threads)]
+
+    def digest(memory: Memory) -> dict:
+        tickets = sorted(
+            memory.load(TICKET_LOG + (tid << 12) + 8 * i)
+            for tid in range(n_threads)
+            for i in range(draws)
+        )
+        return {"next": memory.load(TICKET), "tickets": tickets}
+
+    return module, threads, digest
+
+
+_CONC_BUILDERS: Dict[str, Callable[[], ConcKernel]] = {
+    "mpmc_queue": build_mpmc_queue,
+    "treiber_stack": build_treiber_stack,
+    "hashmap_hot": build_hashmap_hot,
+    "hashmap_wide": build_hashmap_wide,
+    "ticket_counter": build_ticket_counter,
+}
+
+CONC_KERNELS = tuple(_CONC_BUILDERS)
+
+
+def build_conc_kernel(name: str) -> ConcKernel:
+    """Build a fresh module/threads/digest for the named kernel."""
+    try:
+        return _CONC_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown concurrent kernel {name!r}; choose from {CONC_KERNELS}"
+        ) from None

@@ -212,3 +212,63 @@ class TestSoftwareOverhead:
         scheme = replace(cwsp(), ckpt_stores_per_region=2.0)
         stats = simulate(tr, machine, scheme)
         assert stats.stores == 200  # 2 synthetic ckpt stores per boundary
+
+
+class TestDelayFreeAccounting:
+    """Ben-David-style delay-free yardstick: cycles a core spends
+    blocked on persistence where a delay-free design would not block
+    (stale-read ordering waits + fence/boundary persist stalls)."""
+
+    def test_baseline_is_zero_control(self, machine):
+        stats = simulate(mixed_trace(4000) + [("f",)], machine, baseline())
+        assert stats.delay_free_stall_cycles == 0.0
+        assert stats.delay_free_stall_frac == 0.0
+
+    def test_sync_stall_is_slice_of_boundary_stall(self, machine):
+        tr = [("s", 0x50000 + i * 8) for i in range(50)] + [("f",)]
+        stats = simulate(tr, machine, cwsp())
+        assert stats.delayfree_sync_stall_cycles > 0
+        assert stats.delayfree_sync_stall_cycles <= stats.boundary_stall_cycles
+
+    def test_aggregate_identity_and_frac(self, machine):
+        stats = simulate(mixed_trace(4000) + [("f",)], machine, cwsp())
+        assert stats.delay_free_stall_cycles == pytest.approx(
+            stats.delayfree_stale_wait_cycles + stats.boundary_stall_cycles
+        )
+        assert 0.0 <= stats.delay_free_stall_frac < 1.0
+
+    def test_stale_read_wait_counted_reference_path(self, machine):
+        from repro.arch.machine import TimingSimulator
+
+        sim = TimingSimulator(machine, cwsp())
+        addr = 0x7000_0040
+        done = 1.0e6
+        sim.wpq_word_done[machine.mc_of(addr)][addr >> 3] = done
+        before = sim.cycle
+        sim._load(addr)
+        # The wait starts where the load's own latency ends, so it is
+        # positive but bounded by the full span to the persist time.
+        assert 0 < sim.stats.delayfree_stale_wait_cycles <= done - before
+        assert sim.cycle == done
+
+    def test_stale_read_wait_counted_packed_path(self, machine):
+        from repro.arch.machine import TimingSimulator
+        from repro.arch.trace import PackedTrace
+
+        sim = TimingSimulator(machine, cwsp())
+        assert sim._packed_fast
+        addr = 0x7000_0040
+        done = 1.0e6
+        sim.wpq_word_done[machine.mc_of(addr)][addr >> 3] = done
+        before = sim.cycle
+        sim._run_packed(PackedTrace("l", [addr]))
+        assert 0 < sim.stats.delayfree_stale_wait_cycles <= done - before
+        assert sim.cycle == done
+
+    def test_counters_merge_additively(self, machine):
+        # Multicore aggregation sums delay-free counters per core.
+        a = simulate(mixed_trace(3000) + [("f",)], machine, cwsp())
+        b = simulate(mixed_trace(3000) + [("f",)], machine, cwsp())
+        total = a.delayfree_sync_stall_cycles + b.delayfree_sync_stall_cycles
+        a.metrics.merge(b.metrics)
+        assert a.delayfree_sync_stall_cycles == pytest.approx(total)
