@@ -23,27 +23,40 @@ from repro.arch.metrics import Counter, Gauge, MetricSet, Ratio, TimeWeighted
 from repro.arch.scheme import Scheme
 from repro.arch.queues import CompletionQueue
 from repro.arch.caches import CacheHierarchy, DirectMappedCache, SetAssocCache
+from repro.arch.trace import EventView, PackedTrace, unpack_events
 from repro.arch.machine import SimStats, TimingSimulator, simulate
 from repro.arch.multicore import MulticoreSimulator, MulticoreStats, simulate_multicore
+from repro.arch.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointableRun,
+    MulticoreCheckpointableRun,
+    SimCheckpoint,
+)
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "CXL_DEVICES",
     "CacheConfig",
     "CacheHierarchy",
+    "CheckpointableRun",
     "CompletionQueue",
     "Counter",
     "DRAMCacheConfig",
     "DirectMappedCache",
+    "EventView",
     "Gauge",
     "MachineConfig",
     "MetricSet",
+    "MulticoreCheckpointableRun",
     "Ratio",
     "TimeWeighted",
     "MulticoreSimulator",
     "MulticoreStats",
     "NVMTech",
     "NVM_TECHS",
+    "PackedTrace",
     "Scheme",
+    "SimCheckpoint",
     "simulate_multicore",
     "SetAssocCache",
     "SimStats",
@@ -51,4 +64,5 @@ __all__ = [
     "machine_with_cache_levels",
     "simulate",
     "skylake_machine",
+    "unpack_events",
 ]

@@ -80,6 +80,34 @@ class SetAssocCache:
         if ways is not None:
             ways.pop(line_addr // self.n_sets, None)
 
+    def snapshot(self) -> dict:
+        """JSON-serializable tag state (checkpoint protocol).
+
+        Sets and ways are emitted as *ordered* lists: LRU victim
+        selection is a first-minimum scan over dict insertion order,
+        and primed entries tie at tick 0, so the insertion order is
+        observable state and must survive the round trip.
+        """
+        return {
+            "sets": [
+                [index, [[tag, e[0], bool(e[1])] for tag, e in ways.items()]]
+                for index, ways in self.sets.items()
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+            "tick": self._tick,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` in place (shared levels are
+        referenced by every core), preserving way insertion order."""
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self._tick = state["tick"]
+        self.sets.clear()
+        for index, ways in state["sets"]:
+            self.sets[index] = {tag: [tick, dirty] for tag, tick, dirty in ways}
+
     @property
     def miss_rate(self) -> float:
         total = self.hits + self.misses
@@ -115,6 +143,20 @@ class DirectMappedCache:
             evicted = (entry[0] * self.n_lines + index, entry[1])
         self.lines[index] = [tag, is_write]
         return False, evicted
+
+    def snapshot(self) -> dict:
+        return {
+            "lines": [[index, e[0], bool(e[1])] for index, e in self.lines.items()],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.lines.clear()
+        for index, tag, dirty in state["lines"]:
+            self.lines[index] = [tag, dirty]
 
     @property
     def miss_rate(self) -> float:
@@ -221,6 +263,26 @@ class CacheHierarchy:
             for base, size in reversed(ranges):
                 for line in range(base >> self.line_bits, (base + size) >> self.line_bits):
                     self.dram.lines[line % self.dram.n_lines] = [line // self.dram.n_lines, False]
+
+    def snapshot(self, include_shared: bool = True) -> dict:
+        """Checkpoint this hierarchy; ``include_shared=False`` captures
+        only the private L1 (the multicore split: levels 1..N and the
+        DRAM cache are shared objects snapshotted once, by core 0)."""
+        out = {"l1": self.levels[0].snapshot()}
+        if include_shared:
+            out["shared"] = [level.snapshot() for level in self.levels[1:]]
+            out["dram"] = self.dram.snapshot() if self.dram is not None else None
+        return out
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot`; level objects are mutated in
+        place so multicore shared-tag references stay intact."""
+        self.levels[0].restore_state(state["l1"])
+        if "shared" in state:
+            for level, level_state in zip(self.levels[1:], state["shared"]):
+                level.restore_state(level_state)
+            if self.dram is not None and state.get("dram") is not None:
+                self.dram.restore_state(state["dram"])
 
     def l1_miss_rate(self) -> float:
         return self.levels[0].miss_rate

@@ -30,7 +30,7 @@ from repro.arch.config import MachineConfig
 from repro.arch.metrics import MetricSet
 from repro.arch.queues import CompletionQueue
 from repro.arch.scheme import Scheme
-from repro.arch.trace import PackedTrace
+from repro.arch.trace import PackedTrace, unpack_events
 
 Event = Tuple  # (code,) or (code, addr)
 
@@ -236,11 +236,146 @@ class TimingSimulator:
         pins the byte-for-byte stats; test_arch_trace pins packed ==
         legacy on the same stream).
         """
+        events = unpack_events(events)
         if isinstance(events, PackedTrace) and self._packed_fast:
             self._run_packed(events)
         else:
             self._run_events(events)
         return self.finalize()
+
+    def run_stream(self, stream) -> SimStats:
+        """Commit a chunked trace stream and finalize the stats.
+
+        *stream* is anything with a ``next_chunk() -> PackedTrace |
+        None`` method (see ``repro.workloads.synthetic
+        .SyntheticStream``).  Chunks are consumed and dropped one at a
+        time, so peak memory is bounded by the stream's block size, not
+        the trace length -- this is the 10^7+-event path.  Value-
+        identical to ``run`` over the concatenated trace: the fused
+        loop carries all state in ``self`` between chunks.
+        """
+        while True:
+            chunk = stream.next_chunk()
+            if chunk is None:
+                break
+            if isinstance(chunk, PackedTrace) and self._packed_fast:
+                self._run_packed(chunk)
+            else:
+                self._run_events(chunk)
+        return self.finalize()
+
+    def run_until(
+        self,
+        events,
+        cycle_limit: float,
+        start: int = 0,
+        stop: Optional[int] = None,
+        boundary_log: Optional[list] = None,
+    ) -> int:
+        """Reference-step ``events[start:stop]`` until the clock reaches
+        *cycle_limit*; returns the index of the first unexecuted event.
+
+        The cut lands *between* committed events: an event whose
+        pre-commit clock is below the limit executes in full (possibly
+        pushing the clock past the limit); nothing after it runs.  This
+        is the cut-at-an-arbitrary-cycle primitive the checkpoint and
+        intermittent-power layers compose -- state after
+        ``run_until(t, c, 0)`` plus the remaining events is identical
+        to an uninterrupted run by the packed/reference value contract.
+
+        ``boundary_log``, when given, collects ``(next_index,
+        prev_region_complete)`` after every region boundary: the event
+        cursor a power-failure recovery can durably resume from, and
+        the cycle by which everything before it had persisted.
+        """
+        step = self._step
+        n = len(events) if stop is None else min(stop, len(events))
+        i = start
+        while i < n:
+            if self.cycle >= cycle_limit:
+                return i
+            ev = events[i]
+            step(ev)
+            i += 1
+            if boundary_log is not None and ev[0] == "b":
+                boundary_log.append((i, self.prev_region_complete))
+        return i
+
+    # -- checkpoint protocol -------------------------------------------
+    def snapshot(self, include_shared: bool = True) -> Dict[str, object]:
+        """Serialize every mutable field (checkpoint protocol).
+
+        ``include_shared=False`` is the multicore split for cores
+        1..N-1: the WPQs, NVM bandwidth trackers, WPQ word maps, and
+        shared cache levels are single objects referenced by every
+        core, so only the owning core (core 0) captures them.  The
+        result is JSON-serializable and deterministic: every dict that
+        could carry observable iteration order (LRU tag maps) is
+        emitted as an ordered list.
+        """
+        state: Dict[str, object] = {
+            "cycle": self.cycle,
+            "path_free": self.path_free,
+            "line_persist_time": [
+                [line, t] for line, t in self.line_persist_time.items()
+            ],
+            "region_last_persist": self.region_last_persist,
+            "prev_region_complete": self.prev_region_complete,
+            "ckpt_accum": self._ckpt_accum,
+            "ckpt_addr": self._ckpt_addr,
+            "region_lines": sorted(self._region_lines),
+            "wb": self.wb.snapshot(),
+            "pb": self.pb.snapshot(),
+            "rbt": self.rbt.snapshot(),
+            "hier": self.hier.snapshot(include_shared=include_shared),
+            "metrics": self.stats.metrics.to_dict(),
+        }
+        if include_shared:
+            state["wpq"] = [q.snapshot() for q in self.wpq]
+            state["nvm_free"] = list(self.nvm_free)
+            state["wpq_word_done"] = [
+                [[word, t] for word, t in words.items()]
+                for words in self.wpq_word_done
+            ]
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot` into this (freshly constructed,
+        same-config) simulator.  Shared containers are mutated in
+        place so multicore reference sharing survives; the bound metric
+        records of the hot loop are updated, not replaced."""
+        self.cycle = state["cycle"]
+        self.path_free = state["path_free"]
+        self.line_persist_time.clear()
+        self.line_persist_time.update(
+            (line, t) for line, t in state["line_persist_time"]
+        )
+        self.region_last_persist = state["region_last_persist"]
+        self.prev_region_complete = state["prev_region_complete"]
+        self._ckpt_accum = state["ckpt_accum"]
+        self._ckpt_addr = state["ckpt_addr"]
+        self._region_lines.clear()
+        self._region_lines.update(state["region_lines"])
+        self.wb.restore_state(state["wb"])
+        self.pb.restore_state(state["pb"])
+        self.rbt.restore_state(state["rbt"])
+        self.hier.restore_state(state["hier"])
+        if "wpq" in state:
+            for q, q_state in zip(self.wpq, state["wpq"]):
+                q.restore_state(q_state)
+            self.nvm_free[:] = state["nvm_free"]
+            for mc, words in enumerate(state["wpq_word_done"]):
+                self.wpq_word_done[mc] = {word: t for word, t in words}
+        self.stats.metrics.restore_state(state["metrics"])
+        if self._packed_fast:
+            # The fused loop indexes a dense list of pre-created L1
+            # sets; restore_state rebuilt the tag dict from the
+            # snapshot, so re-create any sets it did not mention.
+            # (Outer set-dict order is never observed -- only the
+            # per-set way order matters, and that was restored.)
+            l1 = self.hier.levels[0]
+            for i in range(l1.n_sets):
+                l1.sets.setdefault(i, {})
 
     def _run_events(self, events: Iterable[Event]) -> None:
         """Reference loop: one dispatch per legacy event tuple.

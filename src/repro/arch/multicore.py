@@ -45,7 +45,7 @@ from repro.arch.config import MachineConfig
 from repro.arch.machine import Event, SimStats, TimingSimulator
 from repro.arch.metrics import MetricSet
 from repro.arch.scheme import Scheme
-from repro.arch.trace import PackedTrace
+from repro.arch.trace import PackedTrace, unpack_events
 
 
 @dataclass
@@ -150,6 +150,7 @@ class MulticoreSimulator:
         """
         if len(traces) > self.n_cores:
             raise ValueError(f"{len(traces)} traces for {self.n_cores} cores")
+        traces = [unpack_events(t) for t in traces]
         if (
             traces
             and self.cores[0]._packed_fast
@@ -158,12 +159,90 @@ class MulticoreSimulator:
             self._run_packed(traces)
         else:
             self._run_events(traces)
+        return self._finalize()
+
+    def _finalize(self) -> MulticoreStats:
         stats = MulticoreStats()
         for idx, core in enumerate(self.cores):
             # The WPQs are shared queue objects: only core 0 owns their
             # records, so merged aggregates count them exactly once.
             stats.per_core.append(core.finalize(shared_owner=idx == 0))
         return stats
+
+    def run_until(
+        self,
+        traces: Sequence[List[Event]],
+        cycle_limit: float,
+        cursors: Optional[List[int]] = None,
+        max_events: Optional[int] = None,
+    ) -> List[int]:
+        """Reference-step all cores in min-clock order until every
+        unexhausted core's clock reaches *cycle_limit*; returns the
+        per-core cursors (index of each core's first unexecuted event).
+
+        Like :meth:`TimingSimulator.run_until`, the cut falls between
+        committed events: a core is dispatched only while its clock is
+        below the limit, so the event that pushes it past the limit
+        completes and nothing after it runs.  The heap is rebuilt from
+        ``(core.cycle, idx)`` pairs on entry -- the pushed key always
+        equals the core's clock at pop time, so a run cut here and
+        resumed reconstructs the reference stepper's order exactly.
+        ``max_events`` additionally bounds the total number of
+        dispatches (the checkpoint layer's event-budget cuts).
+        """
+        if len(traces) > self.n_cores:
+            raise ValueError(f"{len(traces)} traces for {self.n_cores} cores")
+        traces = [unpack_events(t) for t in traces]
+        if cursors is None:
+            cursors = [0] * len(traces)
+        else:
+            cursors = list(cursors)
+        heap: List[Tuple[float, int]] = [
+            (self.cores[idx].cycle, idx)
+            for idx in range(len(traces))
+            if cursors[idx] < len(traces[idx])
+        ]
+        heapq.heapify(heap)
+        dispatched = 0
+        while heap:
+            clock, idx = heapq.heappop(heap)
+            if clock >= cycle_limit:
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            core = self.cores[idx]
+            core._step(traces[idx][cursors[idx]])
+            cursors[idx] += 1
+            dispatched += 1
+            if cursors[idx] < len(traces[idx]):
+                heapq.heappush(heap, (core.cycle, idx))
+        return cursors
+
+    # -- checkpoint protocol -------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Serialize all cores; shared structures are captured once, by
+        core 0 (``include_shared`` split -- see
+        :meth:`TimingSimulator.snapshot`)."""
+        return {
+            "n_cores": self.n_cores,
+            "cores": [
+                core.snapshot(include_shared=idx == 0)
+                for idx, core in enumerate(self.cores)
+            ],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot` into this (freshly constructed,
+        same-config) multicore simulator.  Core 0 restores the shared
+        WPQs/NVM trackers/LLC levels in place, which every other core
+        observes through the references ``__init__`` wired up."""
+        if state["n_cores"] != self.n_cores:
+            raise ValueError(
+                f"snapshot has {state['n_cores']} cores, simulator has "
+                f"{self.n_cores}"
+            )
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.restore_state(core_state)
 
     def _run_events(self, traces: Sequence[List[Event]]) -> None:
         """Reference min-clock stepper: one event dispatch per heap pop."""

@@ -20,7 +20,8 @@ byte-identical stats (pinned by tests/test_golden_identity.py).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+import hashlib
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 
 Event = Tuple
 
@@ -54,7 +55,9 @@ class PackedTrace:
         for code, addr in zip(self.codes, self.addrs):
             yield (code,) if code in no_addr else (code, addr)
 
-    def __getitem__(self, i: int) -> Event:
+    def __getitem__(self, i: Union[int, slice]) -> Union[Event, "PackedTrace"]:
+        if isinstance(i, slice):
+            return PackedTrace(self.codes[i], self.addrs[i])
         code = self.codes[i]
         return (code,) if code in CODES_NO_ADDR else (code, self.addrs[i])
 
@@ -74,8 +77,87 @@ class PackedTrace:
             aappend(ev[1] if len(ev) > 1 else 0)
         return cls("".join(codes), addrs)
 
+    @classmethod
+    def concat(cls, parts: Sequence["PackedTrace"]) -> "PackedTrace":
+        """Join chunks into one trace (zero-copy for a single chunk)."""
+        if len(parts) == 1:
+            return parts[0]
+        addrs: List[int] = []
+        for part in parts:
+            addrs.extend(part.addrs)
+        return cls("".join(part.codes for part in parts), addrs)
+
     def to_events(self) -> List[Event]:
         return list(self)
 
+    def view(self) -> "EventView":
+        """Thin legacy-tuple sequence over this trace (no materialization)."""
+        return EventView(self)
+
+    def digest(self) -> str:
+        """Content hash of the exact event stream (codes and addresses).
+
+        Pins chunk-size independence in tests and validates that a
+        checkpoint is resumed against the same externally-supplied
+        trace it was cut from.
+        """
+        h = hashlib.sha256()
+        h.update(self.codes.encode("ascii"))
+        for addr in self.addrs:
+            h.update(addr.to_bytes(10, "little", signed=False))
+        return h.hexdigest()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PackedTrace({len(self.codes)} events)"
+
+
+class EventView:
+    """Legacy per-event-tuple view of a :class:`PackedTrace`.
+
+    Iterates, indexes, and compares like the historical list of tuples
+    -- including equality against plain lists in either operand order
+    (``list.__eq__`` returns ``NotImplemented`` for a view, so Python
+    falls back to the view's reflected comparison) -- while storing
+    only a reference to the packed batches.  This is the single
+    unpacked representation the IR adapter and workload generator hand
+    to consumers that walk tuples; the simulator unwraps it back to
+    the packed trace for the fused fast path.
+    """
+
+    __slots__ = ("packed",)
+
+    def __init__(self, packed: PackedTrace) -> None:
+        self.packed = packed
+
+    def __len__(self) -> int:
+        return len(self.packed)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.packed)
+
+    def __getitem__(self, i: Union[int, slice]) -> Union[Event, "EventView"]:
+        if isinstance(i, slice):
+            return EventView(self.packed[i])
+        return self.packed[i]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventView):
+            return self.packed == other.packed
+        if isinstance(other, PackedTrace):
+            return self.packed == other
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self.packed) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable underlying storage
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventView({len(self.packed)} events)"
+
+
+def unpack_events(events) -> Union[PackedTrace, Iterable[Event]]:
+    """Unwrap an :class:`EventView` to its packed trace, pass through
+    everything else -- the simulators' entry normalization."""
+    return events.packed if isinstance(events, EventView) else events

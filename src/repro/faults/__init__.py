@@ -20,6 +20,11 @@ persistence model (:mod:`repro.recovery`) with four fault classes:
 seeded-random mixes) over the compiled IR kernels on a worker pool,
 shrinks any divergent schedule to a minimal reproducer, and emits JSON
 artifacts consumed by :mod:`repro.harness.report`.
+
+Separately, :mod:`repro.faults.power` models the *timing* consequence
+of intermittent power over the architectural simulator: duty-cycle
+sweeps measuring forward progress and re-execution overhead per
+persistence scheme (``python -m repro.faults --power-trace``).
 """
 
 from repro.faults.campaign import (
@@ -51,6 +56,14 @@ from repro.faults.multicore import (
     run_mt_schedule,
     run_mt_trial,
 )
+from repro.faults.power import (
+    IntermittentResult,
+    PowerCampaignSpec,
+    PowerTrace,
+    power_smoke_spec,
+    run_intermittent,
+    run_power_campaign,
+)
 from repro.faults.schedule import FaultSchedule, FlipSpec, TearSpec, TrialRecord
 from repro.faults.shrink import shrink_schedule
 from repro.faults.strategies import KernelProfile, profile_kernel
@@ -60,7 +73,10 @@ __all__ = [
     "EpochOutcome",
     "FaultSchedule",
     "FlipSpec",
+    "IntermittentResult",
     "KernelProfile",
+    "PowerCampaignSpec",
+    "PowerTrace",
     "MTCampaignSpec",
     "MTKernelProfile",
     "MT_SCHEMES",
@@ -73,9 +89,12 @@ __all__ = [
     "TrialRecord",
     "apply_flip",
     "mt_smoke_spec",
+    "power_smoke_spec",
     "profile_conc_kernel",
     "profile_kernel",
     "resume_epoch",
+    "run_intermittent",
+    "run_power_campaign",
     "run_campaign",
     "run_first_epoch",
     "run_mt_campaign",

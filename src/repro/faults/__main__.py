@@ -8,10 +8,17 @@ boundaries, nested cuts during other threads' recovery, swept
 interleavings); ``repro`` mode replays one serialized schedule, which
 is how every divergence artifact is reproduced.
 
+``--power-trace`` switches to the intermittent-power timing model
+instead: duty-cycle sweeps over the synthetic workloads measuring
+forward progress and re-execution overhead per scheme, with recovery
+costed in cycles (exit 1 on model-invariant violations).
+
 Examples::
 
     python -m repro.faults --smoke
     python -m repro.faults --multicore --smoke
+    python -m repro.faults --power-trace --smoke
+    python -m repro.faults --power-trace --apps astar --on-fracs 0.1,0.3
     python -m repro.faults --kernels counter,sort --strategies nested,torn --k 3
     python -m repro.faults --multicore --kernels mpmc_queue --schemes default,skewed
     python -m repro.faults repro --kernel counter --schedule '{"cuts": [57, 4]}'
@@ -82,8 +89,78 @@ def _validate_choices(parser, what: str, given: List[str], valid) -> None:
         parser.error(f"unknown {what} {bad}; choose from {','.join(valid)}")
 
 
+def _csv_floats(text: str) -> List[float]:
+    return [float(item) for item in text.split(",") if item]
+
+
+def _power_trace_main(argv: List[str]) -> int:
+    from repro.faults.power import (
+        PowerCampaignSpec,
+        power_smoke_spec,
+        run_power_campaign,
+    )
+    from repro.faults.power import intermittent_result
+
+    parser = argparse.ArgumentParser(prog="repro.faults --power-trace")
+    parser.add_argument("--power-trace", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--apps", type=_csv, default=None,
+                        help="comma-separated app profiles (default: astar,bzip2)")
+    parser.add_argument("--schemes", type=_csv, default=None,
+                        help="persistence schemes to sweep "
+                             "(default: baseline,cwsp,capri,replaycache)")
+    parser.add_argument("--on-fracs", type=_csv_floats, default=None,
+                        help="mean on-interval lengths, as fractions of each "
+                             "run's uninterrupted cycles")
+    parser.add_argument("--duties", type=_csv_floats, default=None,
+                        help="power duty cycles (on-time fractions)")
+    parser.add_argument("--n-insts", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--recovery-cycles", type=float, default=200.0,
+                        help="fixed restore cost per power-up, in cycles")
+    parser.add_argument("--out", default=None, help="write JSON artifact here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast seeded CI sweep")
+    opts = parser.parse_args(argv)
+    if opts.smoke:
+        spec = power_smoke_spec(seed=opts.seed)
+    else:
+        defaults = PowerCampaignSpec()
+        spec = PowerCampaignSpec(
+            apps=tuple(opts.apps) if opts.apps else defaults.apps,
+            schemes=tuple(opts.schemes) if opts.schemes else defaults.schemes,
+            on_fracs=tuple(opts.on_fracs) if opts.on_fracs else defaults.on_fracs,
+            duties=tuple(opts.duties) if opts.duties else defaults.duties,
+            n_insts=opts.n_insts,
+            seed=opts.seed,
+            recovery_cycles=opts.recovery_cycles,
+        )
+    try:
+        artifact = run_power_campaign(spec, log=print)
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(intermittent_result(artifact).format_table())
+    if opts.out:
+        write_artifact(artifact, opts.out)
+        print(f"artifact written to {opts.out}")
+    violations = artifact["violations"]
+    if violations:
+        for v in violations:
+            print(f"VIOLATION: {v}")
+        print(f"FAIL: {len(violations)} model-invariant violations")
+        return 1
+    totals = artifact["totals"]
+    print(
+        f"PASS: {totals['points']} supply points, {totals['completed']} completed, "
+        f"{totals['stalled']} stalled, 0 violations "
+        f"({artifact['meta']['elapsed_s']}s)"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if "--power-trace" in argv:
+        return _power_trace_main(argv)
     if argv and argv[0] == "repro":
         parser = argparse.ArgumentParser(prog="repro.faults repro")
         parser.add_argument("--kernel", required=True,

@@ -25,7 +25,13 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.harness.engine import CACHE_DIR, Engine, NullCache, ResultCache
+from repro.harness.engine import (
+    CACHE_DIR,
+    CheckpointPolicy,
+    Engine,
+    NullCache,
+    ResultCache,
+)
 from repro.harness.figures import SPECS
 
 
@@ -77,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSON artifact per experiment into DIR",
     )
     parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="checkpoint in-flight simulations into DIR (one versioned "
+        "JSON checkpoint per point, deleted on completion)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=250_000, metavar="N",
+        help="events between checkpoints (default: 250000)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume interrupted points from their checkpoint files "
+        "(requires --checkpoint)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
     parser.add_argument(
@@ -104,9 +124,18 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"unknown experiment(s) {unknown}; choose from {list(SPECS)}"
         )
 
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = CheckpointPolicy(
+            dir=args.checkpoint, every=args.checkpoint_every, resume=args.resume
+        )
+
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
     engine = Engine(
-        jobs=args.jobs, cache=cache, seed=args.seed, n_insts=args.n_insts
+        jobs=args.jobs, cache=cache, seed=args.seed, n_insts=args.n_insts,
+        checkpoint=checkpoint,
     )
     t0 = time.time()
 

@@ -92,8 +92,104 @@ def point_cache_key(point: Point, salt: Optional[str] = None) -> str:
 # ----------------------------------------------------------------------
 # Point execution (runs in worker processes: must stay top-level).
 # ----------------------------------------------------------------------
-def compute_point(point: Point) -> SimStats:
-    """Regenerate the trace(s) for *point* and simulate it."""
+@dataclasses.dataclass(frozen=True)
+class CheckpointPolicy:
+    """How the engine checkpoints in-flight simulations.
+
+    One checkpoint file per point, named by the point's cache key,
+    written every *every* executed events and deleted when the point
+    completes (the finished result lands in the normal result cache).
+    With *resume* set, a worker picking up a point first looks for its
+    checkpoint file and continues from the recorded cut instead of
+    starting over -- bit-identical by the checkpoint identity contract.
+    """
+
+    dir: str
+    every: int = 250_000
+    resume: bool = False
+
+    def path_for(self, key: str) -> Path:
+        return Path(self.dir) / f"{key}.ckpt.json"
+
+
+def _checkpointed_point(
+    point: Point, checkpoint: CheckpointPolicy, key: str
+) -> SimStats:
+    from repro.arch.checkpoint import (
+        CheckpointableRun,
+        MulticoreCheckpointableRun,
+        SimCheckpoint,
+    )
+    from repro.workloads.synthetic import SyntheticStream
+
+    path = checkpoint.path_for(key)
+    run = None
+    if isinstance(point, MulticorePoint):
+        traces = [
+            generate_trace(
+                PROFILES[app], point.n_insts, seed=point.seed + i,
+                instrument=point.instrument, packed=True,
+            )
+            for i, app in enumerate(point.apps)
+        ]
+        prime = [r for app in point.prime_apps for r in prime_ranges(PROFILES[app])]
+        if checkpoint.resume and path.exists():
+            try:
+                run = MulticoreCheckpointableRun.resume(
+                    SimCheckpoint.load(path), point.machine, point.scheme, traces
+                )
+            except ValueError:
+                run = None  # stale/mismatched checkpoint: start over
+        if run is None:
+            run = MulticoreCheckpointableRun(
+                point.machine, point.scheme, traces,
+                n_cores=point.n_cores, prime=prime,
+            )
+    else:
+        profile = PROFILES[point.app]
+        if checkpoint.resume and path.exists():
+            try:
+                run = CheckpointableRun.resume(
+                    SimCheckpoint.load(path), point.machine, point.scheme
+                )
+            except ValueError:
+                run = None
+        if run is None:
+            run = CheckpointableRun(
+                point.machine,
+                point.scheme,
+                stream=SyntheticStream(
+                    profile, point.n_insts, point.seed, point.instrument
+                ),
+                prime=prime_ranges(profile),
+            )
+    while not run.done:
+        run.run_for_events(checkpoint.every)
+        if run.done:
+            break
+        path.parent.mkdir(parents=True, exist_ok=True)
+        run.checkpoint().save(path)
+    stats = run.run_to_end()
+    if isinstance(point, MulticorePoint):
+        stats = stats.merged()
+    path.unlink(missing_ok=True)
+    return stats
+
+
+def compute_point(
+    point: Point,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    key: Optional[str] = None,
+) -> SimStats:
+    """Regenerate the trace(s) for *point* and simulate it.
+
+    With a :class:`CheckpointPolicy` (and the point's cache *key* to
+    name the file), the simulation runs through the checkpointable
+    drivers -- cut every ``every`` events, persisted, resumable --
+    producing stats bit-identical to the direct path.
+    """
+    if checkpoint is not None and key is not None:
+        return _checkpointed_point(point, checkpoint, key)
     if isinstance(point, MulticorePoint):
         # Packed traces feed the fused multicore scheduling loop; the
         # result is value-identical to the legacy tuple lists through
@@ -119,8 +215,10 @@ def compute_point(point: Point) -> SimStats:
     return simulate(trace, point.machine, point.scheme, prime=prime_ranges(profile))
 
 
-def _execute_task(task: Tuple[str, Point]) -> SimStats:
-    return compute_point(task[1])
+def _execute_task(task: Tuple) -> SimStats:
+    key, point = task[0], task[1]
+    checkpoint = task[2] if len(task) > 2 else None
+    return compute_point(point, checkpoint=checkpoint, key=key)
 
 
 def parallel_map(
@@ -238,6 +336,7 @@ class Engine:
         seed: int = 1,
         n_insts: Optional[int] = None,
         salt: Optional[str] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ) -> None:
         self.jobs = jobs
         self.cache = MemoryCache() if cache is None else cache
@@ -245,6 +344,9 @@ class Engine:
         #: Global n_insts override; ``None`` uses each spec's default.
         self.n_insts = n_insts
         self._salt = salt
+        #: When set, in-flight simulations checkpoint to disk and can
+        #: resume across harness invocations (``--checkpoint``).
+        self.checkpoint = checkpoint
         self.last_run: Optional[RunInfo] = None
         #: Scheme provenance per experiment name, from the last run.
         self.provenance: Dict[str, Dict[str, object]] = {}
@@ -296,7 +398,11 @@ class Engine:
 
         # Phase 3: fan misses out over the pool and backfill the cache.
         with timer.phase("simulate"):
-            computed = parallel_map(_execute_task, misses, jobs=self.jobs)
+            if self.checkpoint is not None:
+                tasks = [(key, point, self.checkpoint) for key, point in misses]
+            else:
+                tasks = misses
+            computed = parallel_map(_execute_task, tasks, jobs=self.jobs)
             for (key, point), stats in zip(misses, computed):
                 self.cache.put(key, point, stats)
                 resolved[point] = stats

@@ -737,6 +737,47 @@ def _check_faults(result: FigureResult) -> None:
     assert result.summary["mt_trials"] > 0, "multicore campaign must contribute"
 
 
+def intermittent_power() -> FigureResult:
+    """The intermittent-power scenario family (beyond the paper).
+
+    Duty-cycle sweep over the timing simulator: power arrives in
+    on-intervals, volatile state dies at each failure, persisting
+    schemes resume from their last durable region boundary after a
+    fixed recovery cost in cycles, the baseline restarts from scratch.
+    Reports forward progress, re-execution overhead, and end-to-end
+    slowdown per scheme; the full sweep is ``python -m repro.faults
+    --power-trace`` (``--smoke`` is the CI gate).
+    """
+    from repro.faults.power import (
+        PowerCampaignSpec,
+        intermittent_result,
+        run_power_campaign,
+    )
+
+    spec = PowerCampaignSpec(
+        apps=("astar", "bzip2"),
+        schemes=("baseline", "cwsp", "capri", "replaycache"),
+        on_fracs=(0.1, 0.3),
+        duties=(0.5,),
+        n_insts=2000,
+        seed=3,
+    )
+    return intermittent_result(run_power_campaign(spec))
+
+
+def _check_intermittent(result: FigureResult) -> None:
+    assert result.summary["violations"] == 0.0, "model invariants must hold"
+    assert result.summary["baseline_max_progress"] == 0.0, (
+        "the baseline persists nothing mid-run, so no durable progress"
+    )
+    assert result.summary["persist_min_progress"] > 0.0, (
+        "persisting schemes retain region-granular progress"
+    )
+    assert result.summary["persist_completed"] > 0.0, (
+        "some persisting scheme must complete at the generous supply point"
+    )
+
+
 # ----------------------------------------------------------------------
 # Delay-free stall accounting (Ben-David et al. yardstick)
 # ----------------------------------------------------------------------
@@ -831,6 +872,11 @@ SPECS: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "faults", "adversarial fault campaign",
             lambda r, ctx: faults_campaign(), simulates=False, check=_check_faults,
+        ),
+        ExperimentSpec(
+            "intermittent", "intermittent-power duty-cycle sweep",
+            lambda r, ctx: intermittent_power(), simulates=False,
+            check=_check_intermittent,
         ),
         ExperimentSpec(
             "delayfree", "delay-free stall accounting", _delayfree,

@@ -202,6 +202,79 @@ def bench_machine_capri(config: BenchConfig) -> BenchResult:
     return _events_per_sec(capri, config, "machine.run.capri")
 
 
+@bench("machine.run.checkpointed")
+def bench_machine_checkpointed(config: BenchConfig) -> BenchResult:
+    """cwsp hot path with a mid-run checkpoint + JSON round trip + resume.
+
+    Measures the full cut/serialize/restore/finish cycle against the
+    uninterrupted run from ``machine.run.cwsp`` sizing.  Doubles as a
+    value-identity guard at benchmark scale: a checkpointed/direct
+    divergence fails the perf job, not just the unit suite.
+    """
+    from repro.arch.checkpoint import CheckpointableRun, SimCheckpoint
+    from repro.perf.timers import Stopwatch
+    from repro.schemes import cwsp
+    from repro.workloads.profiles import PROFILES
+    from repro.workloads.synthetic import SyntheticStream, prime_ranges
+
+    n_insts = config.size("n_insts")
+    reps = config.size("reps")
+    machine = _machine()
+    profile = PROFILES[_BENCH_APP]
+    prime = tuple(prime_ranges(profile))
+
+    def stream():
+        return SyntheticStream(
+            profile, n_insts, seed=_BENCH_SEED, instrument="pruned"
+        )
+
+    # Uninterrupted reference: same stream through run_to_end.
+    ref = CheckpointableRun(machine, cwsp(), stream=stream(), prime=prime)
+    ref_stats = ref.run_to_end()
+    n_events = ref.events_done
+    half = n_events // 2
+
+    def run():
+        r = CheckpointableRun(machine, cwsp(), stream=stream(), prime=prime)
+        r.run_for_events(half)
+        blob = r.checkpoint().to_json()
+        resumed = CheckpointableRun.resume(
+            SimCheckpoint.from_json(blob), machine, cwsp()
+        )
+        return len(blob), resumed.run_to_end()
+
+    best = None
+    stats = None
+    blob_bytes = 0
+    for _ in range(reps):
+        with Stopwatch() as sw:
+            blob_bytes, stats = run()
+        if best is None or sw.seconds < best:
+            best = sw.seconds
+    if stats.metrics.to_dict() != ref_stats.metrics.to_dict():
+        raise AssertionError(
+            "checkpointed run diverged from the uninterrupted reference"
+        )
+    return BenchResult(
+        name="machine.run.checkpointed",
+        value=n_events / best,
+        unit="events/sec",
+        higher_is_better=True,
+        seconds=best,
+        reps=reps,
+        meta={
+            "n_events": n_events,
+            "n_insts": n_insts,
+            "app": _BENCH_APP,
+            "seed": _BENCH_SEED,
+            "scheme": "cWSP",
+            "cut_event": half,
+            "checkpoint_bytes": blob_bytes,
+            "cycles": stats.cycles,
+        },
+    )
+
+
 @bench("machine.run_multicore")
 def bench_machine_multicore(config: BenchConfig) -> BenchResult:
     """Fused multicore loop: 8 cwsp cores over packed SPLASH traces."""

@@ -22,7 +22,7 @@ from repro.workloads.profiles import (
     SUITES,
     apps_in_suite,
 )
-from repro.workloads.synthetic import generate_trace
+from repro.workloads.synthetic import SyntheticStream, generate_trace
 from repro.workloads.adapter import events_from_ir_trace, trace_ir_program
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "MEMORY_INTENSIVE",
     "PROFILES",
     "SUITES",
+    "SyntheticStream",
     "apps_in_suite",
     "events_from_ir_trace",
     "generate_trace",

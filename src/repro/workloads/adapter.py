@@ -2,17 +2,18 @@
 
 Lets the real compiled IR kernels (linked list, b-tree, kmeans, ...)
 run through the same timing model as the synthetic profiles.  Both
-entry points can emit either the legacy per-event tuple list or a
-:class:`~repro.arch.trace.PackedTrace` (``packed=True``), the
-simulator's batched fast-path representation; the two carry the
-identical stream.
+entry points build a :class:`~repro.arch.trace.PackedTrace` through
+one shared emission routine; ``packed=True`` returns it directly (the
+simulator's batched fast path), the default wraps it in an
+:class:`~repro.arch.trace.EventView` that behaves as the legacy
+per-event tuple list.  The two carry the identical stream.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple, Union
 
-from repro.arch.trace import PackedTrace
+from repro.arch.trace import EventView, PackedTrace
 from repro.ir.function import Module
 from repro.ir.interpreter import Interpreter, TraceEvent
 
@@ -29,15 +30,18 @@ _CODE_MAP = {
 }
 
 
-def events_from_ir_trace(
-    trace: List[TraceEvent], packed: bool = False
-) -> Union[List[Event], PackedTrace]:
-    """Convert interpreter events to a timing-simulator stream."""
-    codes: List[str] = []
-    addrs: List[int] = []
+def _emitter(codes: List[str], addrs: List[int]):
+    """The single IR-event -> code/address emission routine.
+
+    Both entry points (batch conversion and live interpreter callback)
+    append through this closure, so the kind mapping exists in exactly
+    one place.
+    """
     cappend = codes.append
     aappend = addrs.append
-    for ev in trace:
+    code_map = _CODE_MAP
+
+    def emit(ev: TraceEvent) -> None:
         kind = ev.kind
         if kind == "load":
             cappend("l")
@@ -49,10 +53,23 @@ def events_from_ir_trace(
             cappend("x")
             aappend(ev.addr)
         else:
-            cappend(_CODE_MAP[kind])
+            cappend(code_map[kind])
             aappend(0)
+
+    return emit
+
+
+def events_from_ir_trace(
+    trace: List[TraceEvent], packed: bool = False
+) -> Union[EventView, PackedTrace]:
+    """Convert interpreter events to a timing-simulator stream."""
+    codes: List[str] = []
+    addrs: List[int] = []
+    emit = _emitter(codes, addrs)
+    for ev in trace:
+        emit(ev)
     out = PackedTrace("".join(codes), addrs)
-    return out if packed else out.to_events()
+    return out if packed else out.view()
 
 
 def trace_ir_program(
@@ -62,28 +79,11 @@ def trace_ir_program(
     spill_args: bool = True,
     max_steps: int = 10_000_000,
     packed: bool = False,
-) -> Union[List[Event], PackedTrace]:
+) -> Union[EventView, PackedTrace]:
     """Interpret an IR program and return its timing-event stream."""
     codes: List[str] = []
     addrs: List[int] = []
-    cappend = codes.append
-    aappend = addrs.append
-
-    def on_event(ev: TraceEvent) -> None:
-        kind = ev.kind
-        if kind == "load":
-            cappend("l")
-            aappend(ev.addr)
-        elif kind == "store":
-            cappend("c" if ev.is_ckpt else "s")
-            aappend(ev.addr)
-        elif kind == "atomic":
-            cappend("x")
-            aappend(ev.addr)
-        else:
-            cappend(_CODE_MAP[kind])
-            aappend(0)
-
-    Interpreter(module, spill_args=spill_args).run(entry, args, max_steps, on_event)
+    emit = _emitter(codes, addrs)
+    Interpreter(module, spill_args=spill_args).run(entry, args, max_steps, emit)
     out = PackedTrace("".join(codes), addrs)
-    return out if packed else out.to_events()
+    return out if packed else out.view()

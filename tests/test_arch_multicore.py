@@ -127,6 +127,9 @@ class TestFusedLoopIdentity:
         assert calls == [2]
 
     def test_mixed_traces_take_the_reference_stepper(self, machine, monkeypatch):
+        """Genuine tuple lists (e.g. IR-derived) fall back to the
+        reference stepper; an EventView unwraps to its packed columns
+        and stays on the fused path."""
         sim = MulticoreSimulator(machine, cwsp(), 2)
         monkeypatch.setattr(
             sim, "_run_packed",
@@ -135,11 +138,25 @@ class TestFusedLoopIdentity:
         packed = generate_trace(
             PROFILES["radix"], 500, seed=0, instrument="pruned", packed=True
         )
-        legacy = generate_trace(
-            PROFILES["fft"], 500, seed=1, instrument="pruned"
+        legacy = list(
+            generate_trace(PROFILES["fft"], 500, seed=1, instrument="pruned")
         )
         stats = sim.run([packed, legacy])
         assert stats.insts > 0
+
+    def test_view_traces_take_the_fused_path(self, machine, monkeypatch):
+        sim = MulticoreSimulator(machine, cwsp(), 2)
+        calls = []
+        orig = sim._run_packed
+        monkeypatch.setattr(
+            sim, "_run_packed", lambda tr: (calls.append(len(tr)), orig(tr))[1]
+        )
+        packed = generate_trace(
+            PROFILES["radix"], 500, seed=0, instrument="pruned", packed=True
+        )
+        view = generate_trace(PROFILES["fft"], 500, seed=1, instrument="pruned")
+        sim.run([packed, view])
+        assert calls == [2]
 
 
 class TestBehaviour:

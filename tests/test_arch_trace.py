@@ -10,7 +10,14 @@ import pytest
 
 from repro.arch.config import machine_with_cache_levels, skylake_machine
 from repro.arch.machine import TimingSimulator, simulate
-from repro.arch.trace import CODES, CODES_NO_ADDR, CODES_WITH_ADDR, PackedTrace
+from repro.arch.trace import (
+    CODES,
+    CODES_NO_ADDR,
+    CODES_WITH_ADDR,
+    EventView,
+    PackedTrace,
+    unpack_events,
+)
 from repro.schemes.catalog import baseline, capri, cwsp, ido, psp_ideal, replaycache
 from repro.workloads.profiles import PROFILES
 from repro.workloads.synthetic import generate_trace, prime_ranges
@@ -56,9 +63,27 @@ class TestPackedTrace:
                 profile, 4_000, seed=2, instrument=mode, packed=True
             )
             assert isinstance(packed, PackedTrace)
-            assert isinstance(legacy, list)
+            # The unpacked form is a zero-copy view over the same packed
+            # columns, interchangeable with the old tuple list.
+            assert isinstance(legacy, EventView)
+            assert legacy.packed is not None
+            assert packed.to_events() == list(legacy)
+            assert PackedTrace.from_events(list(legacy)) == packed
+            assert legacy == packed.to_events()
             assert packed.to_events() == legacy
-            assert PackedTrace.from_events(legacy) == packed
+
+    def test_event_view_semantics(self):
+        events = [("l", 64), ("a",), ("s", 128), ("b",)]
+        packed = PackedTrace.from_events(events)
+        view = packed.view()
+        assert len(view) == len(events)
+        assert list(view) == events
+        assert view[2] == ("s", 128)
+        assert view == events and events == view
+        assert view == packed and view == PackedTrace.from_events(events).view()
+        assert view != events[:-1]
+        assert unpack_events(view) is packed
+        assert unpack_events(events) is events
 
 
 class TestSimulatorValueIdentity:
