@@ -66,9 +66,16 @@ def canonical_json(payload) -> str:
 
 def config_digest(obj) -> str:
     """Short content hash of a frozen config dataclass (machine or
-    scheme); a resumed checkpoint must match the one it was cut on."""
+    scheme); a resumed checkpoint must match the one it was cut on.
+
+    The ``backend`` selector is excluded: it is an execution strategy,
+    not model state (every backend is value-identical by contract), so
+    a checkpoint cut under one backend resumes under any other.
+    """
+    fields = asdict(obj)
+    fields.pop("backend", None)
     return hashlib.sha256(
-        canonical_json(asdict(obj)).encode("ascii")
+        canonical_json(fields).encode("ascii")
     ).hexdigest()[:16]
 
 
@@ -211,8 +218,9 @@ class CheckpointableRun:
 
     def run_for_events(self, budget: int) -> int:
         """Execute up to *budget* events; returns the number executed.
-        Whole chunks go through the packed fast path; the partial tail
-        chunk is reference-stepped (value-identical by contract)."""
+        Whole chunks go through the simulator's selected backend; the
+        partial tail chunk is reference-stepped (value-identical by
+        contract)."""
         sim = self.sim
         executed = 0
         while budget > 0:
@@ -220,9 +228,9 @@ class CheckpointableRun:
             if chunk is None or self._pos >= len(chunk):
                 break
             take = len(chunk) - self._pos
-            if take <= budget and sim._packed_fast:
+            if take <= budget:
                 part = chunk[self._pos :] if self._pos else chunk
-                sim._run_packed(part)
+                sim._run_trace(part)
                 self._pos += take
             else:
                 take = min(take, budget)
@@ -248,10 +256,7 @@ class CheckpointableRun:
                     continue
                 break
             part = chunk[self._pos :] if self._pos else chunk
-            if sim._packed_fast:
-                sim._run_packed(part)
-            else:
-                sim._run_events(part)
+            sim._run_trace(part)
             self.events_done += len(part)
             self._pos = len(chunk)
             self._retire_chunk()
@@ -444,7 +449,11 @@ def selftest(
     from repro.arch.multicore import simulate_multicore
     from repro.schemes.catalog import baseline, capri, cwsp, replaycache
     from repro.workloads.profiles import PROFILES
-    from repro.workloads.synthetic import generate_trace, prime_ranges
+    from repro.workloads.synthetic import (
+        SyntheticStream,
+        generate_trace,
+        prime_ranges,
+    )
 
     factories = {
         "baseline": baseline,

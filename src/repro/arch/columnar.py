@@ -1,0 +1,761 @@
+"""Columnar simulation backend: batch the pure stride, interpret the rest.
+
+The packed loop (``TimingSimulator._packed_gen``) already fused the
+per-event methods into one interpreter, but every event -- including a
+zero-penalty L1 hit or a plain ALU op -- still pays Python dispatch:
+a string compare, an address fetch, and a float add.  Profiling shows
+the stream is dominated by *pure* events, whose only architectural
+effect is ``cycle += commit_cost`` plus integer LRU bookkeeping:
+
+* ``a`` ops are always pure;
+* ``l`` is pure iff the L1 probe hits (zero penalty, no eviction);
+* ``s``/``c`` are pure iff the L1 probe hits *and* the persist path is
+  disengaged for this store (scheme does not persist stores, or the
+  line is already coalesced into the current region's buffered set)
+  *and* the scheme adds no per-store instruction overhead.
+
+This module resolves those events without per-event float work.  A
+:class:`ColumnarTrace` sidecar (built once per chunk, numpy) yields the
+positions of the memory events and the rare codes; the walk visits
+*only* ``l``/``s``/``c`` positions -- ALU runs are skipped entirely --
+and defers every pure event's ``cycle += commit_cost`` until the pure
+stretch closes, at which point the whole chain of identical adds is
+replayed as one fused add (see :func:`_replay_adds` for why that is
+bit-exact).  Any event whose purity preconditions fail is interpreted
+with a verbatim copy of the packed-loop body, and the rare codes
+(``b``/``f``/``x``) use the same sync-to-self / reference-method /
+reload protocol as the packed loop.  Correctness therefore never
+depends on the batched path covering a case: the decision is per-event
+and the fallback is the exact scalar semantics.
+
+Contract: bit-identical ``SimStats`` versus the packed loop on every
+stream (pinned by tests/test_columnar_backend.py and a second
+golden-identity CI run under ``REPRO_BACKEND=columnar``).  DESIGN.md
+section 7d records the batching invariants and the exactness argument.
+
+Single-core only: the multicore scheduler needs the packed coroutine's
+yield protocol, so multicore cores always run the packed loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_CODE_L = ord("l")
+_CODE_S = ord("s")
+_CODE_C = ord("c")
+_CODE_B = ord("b")
+_CODE_F = ord("f")
+_CODE_X = ord("x")
+
+
+class ColumnarTrace:
+    """Derived per-event columns of one :class:`PackedTrace`.
+
+    Everything here is a pure function of ``(codes, addrs)``: the
+    sidecar carries no simulation state, is excluded from trace
+    equality/digests/pickles, and is safe to drop and rebuild at any
+    point (checkpoint/restore never sees it).
+
+    Columns:
+
+    * ``codes_u8`` / ``addrs_i64`` -- the stream itself, as arrays.
+    * ``rare_pos`` -- positions of ``b``/``f``/``x`` (the codes that
+      touch cross-cutting state: region boundaries, fences, atomics).
+    * ``ls_pos`` / ``ls_store`` -- positions of the memory events
+      (``l``/``s``/``c``) and a per-position is-store flag; ALU runs
+      are implicit gaps and are never visited by the walk.
+    * :meth:`geometry` -- cache line / set index / tag columns for a
+      given L1 geometry, computed vectorized and cached per geometry
+      (a trace can be replayed against several machine configs).
+    * :attr:`region_ids` / :meth:`mc_indices` -- region ordinal per
+      event and memory-controller index per memory event; lazy, used
+      by diagnostics and tests rather than the hot walk (the walk
+      recomputes MC indices only on the rare impure paths, where the
+      scalar cost is already dominated by the event body).
+
+    Raises ``OverflowError`` if any address falls outside int64 (the
+    caller caches the failure and keeps the scalar loop).
+    """
+
+    __slots__ = (
+        "n",
+        "codes_u8",
+        "addrs_i64",
+        "rare_pos",
+        "ls_idx",
+        "ls_pos",
+        "ls_store",
+        "_geometry",
+        "_region_ids",
+    )
+
+    def __init__(self, trace) -> None:
+        codes_u8 = np.frombuffer(trace.codes.encode("ascii"), dtype=np.uint8)
+        self.n = len(codes_u8)
+        self.codes_u8 = codes_u8
+        # np.array raises OverflowError on ints outside int64.
+        self.addrs_i64 = np.array(trace.addrs, dtype=np.int64)
+        is_sc = (codes_u8 == _CODE_S) | (codes_u8 == _CODE_C)
+        rare = (codes_u8 == _CODE_B) | (codes_u8 == _CODE_F) | (codes_u8 == _CODE_X)
+        self.rare_pos = np.flatnonzero(rare).tolist()
+        ls_idx = np.flatnonzero((codes_u8 == _CODE_L) | is_sc)
+        self.ls_idx = ls_idx
+        self.ls_pos = ls_idx.tolist()
+        self.ls_store = is_sc[ls_idx].tolist()
+        self._geometry = {}
+        self._region_ids = None
+
+    def geometry(self, line_bits: int, idx_mask: int, tag_shift: int):
+        """``(lines, set_indices, tags)`` columns over the memory
+        events for one L1 geometry, as plain lists (list iteration in
+        the walk beats per-event ndarray item access by ~10x)."""
+        key = (line_bits, idx_mask, tag_shift)
+        cols = self._geometry.get(key)
+        if cols is None:
+            lines = self.addrs_i64[self.ls_idx] >> line_bits
+            cols = (
+                lines.tolist(),
+                (lines & idx_mask).tolist(),
+                (lines >> tag_shift).tolist(),
+            )
+            self._geometry[key] = cols
+        return cols
+
+    @property
+    def region_ids(self):
+        """Region ordinal per event (count of ``b`` boundaries committed
+        before it), lazily built."""
+        ids = self._region_ids
+        if ids is None:
+            boundary = (self.codes_u8 == _CODE_B).astype(np.int64)
+            ids = np.cumsum(boundary) - boundary  # id of the *enclosing* region
+            self._region_ids = ids
+        return ids
+
+    def mc_indices(self, mc_shift: int, mc_mask: int):
+        """Memory-controller index per memory event for one interleave
+        geometry (diagnostics; the walk computes these inline on the
+        impure paths only)."""
+        return (self.addrs_i64[self.ls_idx] >> mc_shift) & mc_mask
+
+
+def _replay_adds(x: float, c: float, n: int, cap: float):
+    """Replay ``n`` sequential ``x += c`` hardware adds, exactly, and
+    return ``(x_after, binade_top)`` for the caller's fast path.
+
+    ``c`` must be a positive power of two (``commit_cost`` is
+    ``1 / commit_width`` with a power-of-two width -- checked by the
+    backend gate) and ``x`` non-negative.  Within one binade
+    ``[top/2, top)`` every float is an integer multiple of the binade's
+    ulp, and so is ``c`` whenever ``c >= ulp``; every partial sum of
+    the chain that stays below ``top`` is then exactly representable,
+    so each add is exact and the whole chain equals the single fused
+    add ``x + j*c`` bit-for-bit.  Only the one add that crosses into
+    the next binade can round, and that add is replayed literally.
+    ``cap = ldexp(c, 52)`` bounds the binades for which ``c >= ulp``
+    holds; above it (never reached at simulation scales) every add is
+    replayed literally.
+
+    The returned ``binade_top`` lets the caller batch subsequent
+    stretches inline: while ``x + j*c < binade_top`` the fused add is
+    exact.  ``0.0`` disables the fast path.
+    """
+    while n:
+        if x <= 0.0:
+            x += c  # 0.0 + c == c exactly
+            n -= 1
+            continue
+        top = math.ldexp(1.0, math.frexp(x)[1])
+        if top > cap:
+            for _ in range(n):  # c < ulp(x): batching unsound
+                x += c
+            return x, 0.0
+        # top - x is exact (Sterbenz: x in [top/2, top)), and dividing
+        # by a power of two only shifts the exponent, so j is exact.
+        j = math.ceil((top - x) / c) - 1
+        if n <= j:
+            return x + n * c, top
+        if j > 0:
+            x += j * c
+        x += c  # the one binade-crossing add, in hardware
+        n -= j + 1
+    top = math.ldexp(1.0, math.frexp(x)[1])
+    return (x, top) if top <= cap else (x, 0.0)
+
+
+def run_columnar(sim, trace) -> None:
+    """Columnar walk over one packed chunk (no finalize).
+
+    Value contract: identical observable state transitions to
+    ``sim._run_packed(trace)`` -- same float operations in the same
+    order on the same values for every impure event, and provably
+    equivalent fused adds for the pure stretches in between.  The
+    impure-event bodies below are verbatim copies of the packed-loop
+    bodies (machine.py ``_packed_gen``); when editing one, edit both
+    (test_columnar_backend.py pins the equivalence).
+    """
+    n = len(trace)
+    if n == 0:
+        return
+    col = trace.columnar()
+    if col is None:  # unbuildable sidecar: scalar fallback
+        sim._run_packed(trace)
+        return
+
+    # -- constants (same localization as _packed_gen) -----------------
+    commit_cost = sim._commit_cost
+    l1_lat = sim._l1_lat
+    l2_lat = sim._l2_lat
+    mlp = sim._mlp
+    path_send = sim._path_send_cycles
+    path_lat = sim._path_lat
+    mc_extra = sim._mc_extra
+    nvm_read_cyc = sim._nvm_read_cyc
+    media = sim._media_cost
+    llc_wb_cost = sim._llc_wb_cost
+    wpq_drain = sim._wpq_drain_overhead
+    line_bits = sim._line_bits
+    extra_store_cost = sim._extra_store_cost
+    scheme = sim.scheme
+    persist_stores = scheme.persist_stores
+    persist_bytes = scheme.persist_bytes
+    coalesce = scheme.coalesce_lines
+    wpq_delay_on = persist_stores and scheme.wpq_load_delay
+    wb_delay_on = persist_stores and scheme.wb_delay
+    # -- bound callables / shared containers --------------------------
+    hier_miss = sim.hier.miss
+    l1 = sim.hier.levels[0]
+    l1_sets = l1.sets
+    l1_nsets = l1.n_sets
+    l1_ways_cap = l1.ways
+    l1_idx_mask = sim._l1_idx_mask
+    l1_tag_shift = sim._l1_tag_shift
+    l1_setlist = [l1_sets[i] for i in range(l1_nsets)]
+    levels = sim.hier.levels
+    multi_level = len(levels) > 1
+    if multi_level:
+        l2 = levels[1]
+        l2_sets = l2.sets
+        l2_nsets = l2.n_sets
+        l2_ways_cap = l2.ways
+        l2_hit_lat = l2.hit_latency
+        l2_idx_mask = l2_nsets - 1
+        l2_tag_shift = l2_nsets.bit_length() - 1
+        llc_from_l2 = len(levels) == 2 and sim.hier.dram is None
+    mc_shift = sim._mc_shift
+    mc_mask = sim._mc_mask
+    wb = sim.wb
+    wb_entries = wb.entries
+    wb_capacity = wb.capacity
+    wb_admit = wb.admit
+    pb = sim.pb
+    pb_entries = pb.entries
+    pb_capacity = pb.capacity
+    pb_admit = pb.admit
+    wpq = sim.wpq
+    wpq_capacity = wpq[0].capacity
+    nvm_free = sim.nvm_free
+    line_persist_time = sim.line_persist_time
+    wpq_word_done = sim.wpq_word_done
+    region_lines = sim._region_lines
+    # Direct-mapped DRAM-cache probe, inlined for the common two-level
+    # + DRAM-cache hierarchy (the same unrolling the packed loop does
+    # for L1/L2; hier.miss walks whatever the loop did not inline).
+    # The inlined ops mirror CacheHierarchy.miss(line, w, start=2) +
+    # DirectMappedCache.access exactly: latency arithmetic is integer,
+    # so batching it cannot round differently.
+    dram = sim.hier.dram
+    dram_inline = multi_level and len(levels) == 2 and dram is not None
+    if dram_inline:
+        dram_lines = dram.lines
+        dram_nlines = dram.n_lines
+        dram_miss_lat = l2_hit_lat + dram.hit_latency
+    # -- mutable scalars, localized -----------------------------------
+    cycle = sim.cycle
+    path_free = sim.path_free
+    region_last_persist = sim.region_last_persist
+    l1_tick = l1._tick
+    l1_hits = l1.hits
+    l1_misses = l1.misses
+    n_nvm_reads = 0
+    n_nvm_writes = 0
+    n_path_bytes = 0
+    n_wb_delays = 0
+    n_wpq_hits = 0
+    n_df_stale = 0.0
+
+    # -- sidecar columns ----------------------------------------------
+    codes = trace.codes
+    addrs = trace.addrs
+    rare_iter = iter(col.rare_pos)
+    next_rare = next(rare_iter, n)
+    ls_line, ls_set, ls_tag = col.geometry(line_bits, l1_idx_mask, l1_tag_shift)
+
+    # -- deferred commit-cost accounting ------------------------------
+    # Every event in [run_start, current) so far has been pure: its
+    # only clock effect is one `cycle += commit_cost`, deferred here.
+    # Closing the stretch replays the whole chain of identical adds as
+    # a single fused add while the sum stays inside the binade bounded
+    # by `binade_top` (exact -- see _replay_adds); `binade_top = 0.0`
+    # forces the slow path, which recomputes it.  Soundness of caching
+    # binade_top relies on `cycle` being monotone non-decreasing, which
+    # every packed-loop body guarantees (stalls only clamp it up).
+    cap = math.ldexp(commit_cost, 52)
+    binade_top = 0.0
+    run_start = 0
+    esc_inline = extra_store_cost == 0.0
+
+    for p, st, l1_line, index, tag in zip(
+        col.ls_pos, col.ls_store, ls_line, ls_set, ls_tag
+    ):
+        if p > next_rare:
+            # Commit every rare event (b/f/x) before this memory event:
+            # close the pure stretch, then the packed-loop protocol --
+            # sync localized state to self, run the reference method,
+            # reload.  The L1 probe below happens only after these
+            # commit, so the walk observes the same cache state the
+            # packed loop would.
+            while True:
+                k = next_rare - run_start
+                if k:
+                    y = cycle + k * commit_cost
+                    if y < binade_top:
+                        cycle = y
+                    else:
+                        cycle, binade_top = _replay_adds(cycle, commit_cost, k, cap)
+                run_start = next_rare + 1
+                cycle += commit_cost
+                sim.cycle = cycle
+                sim.path_free = path_free
+                sim.region_last_persist = region_last_persist
+                l1._tick = l1_tick
+                l1.hits = l1_hits
+                l1.misses = l1_misses
+                code = codes[next_rare]
+                if code == "b":
+                    sim._boundary()
+                elif code == "f":
+                    sim._sync()
+                else:
+                    sim._store(addrs[next_rare], is_ckpt=False)
+                    sim._sync()
+                cycle = sim.cycle
+                path_free = sim.path_free
+                region_last_persist = sim.region_last_persist
+                l1_tick = l1._tick
+                l1_hits = l1.hits
+                l1_misses = l1.misses
+                next_rare = next(rare_iter, n)
+                if p <= next_rare:
+                    break
+        ways = l1_setlist[index]
+        entry = ways.get(tag)
+        if entry is not None:
+            if not st:
+                # Pure load hit: commit cost deferred, LRU touch now.
+                l1_tick += 1
+                l1_hits += 1
+                entry[0] = l1_tick
+                continue
+            if not persist_stores or (coalesce and l1_line in region_lines):
+                if esc_inline:
+                    # Pure store hit: same deferral.
+                    l1_tick += 1
+                    l1_hits += 1
+                    entry[0] = l1_tick
+                    entry[1] = True
+                    continue
+                # Store hit under a per-store instruction overhead:
+                # close the stretch, replay this event's two adds.
+                k = p - run_start
+                if k:
+                    y = cycle + k * commit_cost
+                    if y < binade_top:
+                        cycle = y
+                    else:
+                        cycle, binade_top = _replay_adds(cycle, commit_cost, k, cap)
+                run_start = p + 1
+                cycle += commit_cost
+                cycle += extra_store_cost
+                l1_tick += 1
+                l1_hits += 1
+                entry[0] = l1_tick
+                entry[1] = True
+                continue
+        # Purity preconditions failed: close the stretch, then run the
+        # packed-loop body for this event verbatim.
+        k = p - run_start
+        if k:
+            y = cycle + k * commit_cost
+            if y < binade_top:
+                cycle = y
+            else:
+                cycle, binade_top = _replay_adds(cycle, commit_cost, k, cap)
+        run_start = p + 1
+        addr = addrs[p]
+        if not st:
+            # ---- packed-loop load-miss body (verbatim) --------------
+            cycle += commit_cost
+            l1_tick += 1
+            l1_misses += 1
+            if len(ways) >= l1_ways_cap:
+                victim_tag = None
+                victim_tick = l1_tick
+                for t, e in ways.items():
+                    et = e[0]
+                    if et < victim_tick:
+                        victim_tick = et
+                        victim_tag = t
+                victim = ways.pop(victim_tag)
+                l1_ev = victim_tag * l1_nsets + index if victim[1] else None
+            else:
+                l1_ev = None
+            ways[tag] = [l1_tick, False]
+            if multi_level:
+                l2._tick = l2_tick = l2._tick + 1
+                index2 = l1_line & l2_idx_mask
+                tag2 = l1_line >> l2_tag_shift
+                ways2 = l2_sets.get(index2)
+                if ways2 is None:
+                    ways2 = l2_sets[index2] = {}
+                entry2 = ways2.get(tag2)
+                if entry2 is not None:
+                    l2.hits += 1
+                    entry2[0] = l2_tick
+                    latency = l2_hit_lat
+                    to_nvm = False
+                    llc_ev = None
+                else:
+                    l2.misses += 1
+                    if len(ways2) >= l2_ways_cap:
+                        victim_tag = None
+                        victim_tick = l2_tick
+                        for t, e in ways2.items():
+                            et = e[0]
+                            if et < victim_tick:
+                                victim_tick = et
+                                victim_tag = t
+                        victim = ways2.pop(victim_tag)
+                        llc2 = (
+                            victim_tag * l2_nsets + index2
+                            if llc_from_l2 and victim[1]
+                            else None
+                        )
+                    else:
+                        llc2 = None
+                    ways2[tag2] = [l2_tick, False]
+                    if dram_inline:
+                        # hier.miss(line, False, 2) with the DRAM-cache
+                        # probe unrolled (two-level geometry: the level
+                        # walk is empty).
+                        latency = dram_miss_lat
+                        index3 = l1_line % dram_nlines
+                        tag3 = l1_line // dram_nlines
+                        entry3 = dram_lines.get(index3)
+                        if entry3 is not None and entry3[0] == tag3:
+                            dram.hits += 1
+                            to_nvm = False
+                            llc_ev = None
+                        else:
+                            dram.misses += 1
+                            llc_ev = (
+                                entry3[0] * dram_nlines + index3
+                                if entry3 is not None and entry3[1]
+                                else None
+                            )
+                            dram_lines[index3] = [tag3, False]
+                            to_nvm = True
+                    else:
+                        latency, to_nvm, llc_ev = hier_miss(l1_line, False, 2)
+                        if llc_from_l2:
+                            llc_ev = llc2
+            else:
+                latency, to_nvm, llc_ev = hier_miss(l1_line, False)
+            penalty = latency - l1_lat
+            if to_nvm:
+                mc = (addr >> mc_shift) & mc_mask
+                penalty += nvm_read_cyc + mc_extra[mc]
+                n_nvm_reads += 1
+                if penalty > 0:
+                    cycle += penalty * mlp
+                if wpq_delay_on:
+                    done = wpq_word_done[mc].get(addr >> 3)
+                    if done is not None and done > cycle:
+                        n_wpq_hits += 1
+                        n_df_stale += done - cycle
+                        cycle = done
+            elif penalty > 0:
+                cycle += penalty * mlp
+            if l1_ev is not None:
+                last = wb._last_t
+                occ = wb.occ_integral
+                while wb_entries and wb_entries[0] <= cycle:
+                    t = wb_entries.popleft()
+                    if t > last:
+                        occ += (len(wb_entries) + 1) * (t - last)
+                        last = t
+                if cycle > last:
+                    occ += len(wb_entries) * (cycle - last)
+                    last = cycle
+                wb._last_t = last
+                wb.occ_integral = occ
+                if len(wb_entries) >= wb_capacity:
+                    cycle = wb_admit(cycle)
+                drain = cycle + l2_lat
+                if wb_delay_on:
+                    persist = line_persist_time.get(l1_ev, 0.0)
+                    if persist > drain:
+                        drain = persist
+                        n_wb_delays += 1
+                wb.pushes += 1
+                if wb_entries and drain < wb_entries[-1]:
+                    wb_entries.append(wb_entries[-1])
+                else:
+                    wb_entries.append(drain)
+            if llc_ev is not None and not persist_stores:
+                mc = ((llc_ev << line_bits) >> mc_shift) & mc_mask
+                free = nvm_free[mc]
+                start = cycle if cycle > free else free
+                nvm_free[mc] = start + llc_wb_cost
+                n_nvm_writes += 1
+        else:
+            # ---- packed-loop store body (verbatim) ------------------
+            cycle += commit_cost
+            if extra_store_cost:
+                cycle += extra_store_cost
+            l1_tick += 1
+            if entry is not None:
+                l1_hits += 1
+                entry[0] = l1_tick
+                entry[1] = True
+            else:
+                l1_misses += 1
+                if len(ways) >= l1_ways_cap:
+                    victim_tag = None
+                    victim_tick = l1_tick
+                    for t, e in ways.items():
+                        et = e[0]
+                        if et < victim_tick:
+                            victim_tick = et
+                            victim_tag = t
+                    victim = ways.pop(victim_tag)
+                    l1_ev = victim_tag * l1_nsets + index if victim[1] else None
+                else:
+                    l1_ev = None
+                ways[tag] = [l1_tick, True]
+                if multi_level:
+                    l2._tick = l2_tick = l2._tick + 1
+                    index2 = l1_line & l2_idx_mask
+                    tag2 = l1_line >> l2_tag_shift
+                    ways2 = l2_sets.get(index2)
+                    if ways2 is None:
+                        ways2 = l2_sets[index2] = {}
+                    entry2 = ways2.get(tag2)
+                    if entry2 is not None:
+                        l2.hits += 1
+                        entry2[0] = l2_tick
+                        entry2[1] = True
+                        llc_ev = None
+                    else:
+                        l2.misses += 1
+                        if len(ways2) >= l2_ways_cap:
+                            victim_tag = None
+                            victim_tick = l2_tick
+                            for t, e in ways2.items():
+                                et = e[0]
+                                if et < victim_tick:
+                                    victim_tick = et
+                                    victim_tag = t
+                            victim = ways2.pop(victim_tag)
+                            llc2 = (
+                                victim_tag * l2_nsets + index2
+                                if llc_from_l2 and victim[1]
+                                else None
+                            )
+                        else:
+                            llc2 = None
+                        ways2[tag2] = [l2_tick, True]
+                        if dram_inline:
+                            # hier.miss(line, True, 2), DRAM-cache probe
+                            # unrolled (write allocate, latency unused).
+                            index3 = l1_line % dram_nlines
+                            tag3 = l1_line // dram_nlines
+                            entry3 = dram_lines.get(index3)
+                            if entry3 is not None and entry3[0] == tag3:
+                                dram.hits += 1
+                                entry3[1] = True
+                                llc_ev = None
+                            else:
+                                dram.misses += 1
+                                llc_ev = (
+                                    entry3[0] * dram_nlines + index3
+                                    if entry3 is not None and entry3[1]
+                                    else None
+                                )
+                                dram_lines[index3] = [tag3, True]
+                        else:
+                            _, _, llc_ev = hier_miss(l1_line, True, 2)
+                            if llc_from_l2:
+                                llc_ev = llc2
+                else:
+                    _, _, llc_ev = hier_miss(l1_line, True)
+                if l1_ev is not None:
+                    last = wb._last_t
+                    occ = wb.occ_integral
+                    while wb_entries and wb_entries[0] <= cycle:
+                        t = wb_entries.popleft()
+                        if t > last:
+                            occ += (len(wb_entries) + 1) * (t - last)
+                            last = t
+                    if cycle > last:
+                        occ += len(wb_entries) * (cycle - last)
+                        last = cycle
+                    wb._last_t = last
+                    wb.occ_integral = occ
+                    if len(wb_entries) >= wb_capacity:
+                        cycle = wb_admit(cycle)
+                    drain = cycle + l2_lat
+                    if wb_delay_on:
+                        persist = line_persist_time.get(l1_ev, 0.0)
+                        if persist > drain:
+                            drain = persist
+                            n_wb_delays += 1
+                    wb.pushes += 1
+                    if wb_entries and drain < wb_entries[-1]:
+                        wb_entries.append(wb_entries[-1])
+                    else:
+                        wb_entries.append(drain)
+                if llc_ev is not None and not persist_stores:
+                    mc = ((llc_ev << line_bits) >> mc_shift) & mc_mask
+                    free = nvm_free[mc]
+                    start = cycle if cycle > free else free
+                    nvm_free[mc] = start + llc_wb_cost
+                    n_nvm_writes += 1
+            if not persist_stores:
+                continue
+            if coalesce:
+                if l1_line in region_lines:
+                    continue  # merged into the buffered dirty line
+                region_lines.add(l1_line)
+            last = pb._last_t
+            occ = pb.occ_integral
+            while pb_entries and pb_entries[0] <= cycle:
+                t = pb_entries.popleft()
+                if t > last:
+                    occ += (len(pb_entries) + 1) * (t - last)
+                    last = t
+            if cycle > last:
+                occ += len(pb_entries) * (cycle - last)
+                last = cycle
+            pb._last_t = last
+            pb.occ_integral = occ
+            if len(pb_entries) >= pb_capacity:
+                cycle = pb_admit(cycle)
+            send = cycle if cycle > path_free else path_free
+            path_free = send + path_send
+            mc = (addr >> mc_shift) & mc_mask
+            arrive = send + path_lat + mc_extra[mc]
+            q = wpq[mc]
+            we = q.entries
+            last = q._last_t
+            occ = q.occ_integral
+            while we and we[0] <= arrive:
+                t = we.popleft()
+                if t > last:
+                    occ += (len(we) + 1) * (t - last)
+                    last = t
+            if arrive > last:
+                occ += len(we) * (arrive - last)
+                last = arrive
+            q._last_t = last
+            q.occ_integral = occ
+            if len(we) >= wpq_capacity:
+                admitted = q.admit(arrive)
+            else:
+                admitted = arrive
+            free = nvm_free[mc]
+            start = admitted if admitted > free else free
+            nvm_free[mc] = start + media
+            drain_done = start + media + wpq_drain
+            q.pushes += 1
+            if we and drain_done < we[-1]:
+                we.append(we[-1])
+            else:
+                we.append(drain_done)
+            pb.pushes += 1
+            if pb_entries and admitted < pb_entries[-1]:
+                pb_entries.append(pb_entries[-1])
+            else:
+                pb_entries.append(admitted)
+            if admitted > region_last_persist:
+                region_last_persist = admitted
+            if admitted > line_persist_time.get(l1_line, 0.0):
+                line_persist_time[l1_line] = admitted
+            words = wpq_word_done[mc]
+            words[addr >> 3] = drain_done
+            if len(words) > 8192:
+                wpq_word_done[mc] = {w: t for w, t in words.items() if t > cycle}
+            n_path_bytes += persist_bytes
+            n_nvm_writes += 1
+
+    # Rare events after the last memory event.
+    while next_rare < n:
+        k = next_rare - run_start
+        if k:
+            y = cycle + k * commit_cost
+            if y < binade_top:
+                cycle = y
+            else:
+                cycle, binade_top = _replay_adds(cycle, commit_cost, k, cap)
+        run_start = next_rare + 1
+        cycle += commit_cost
+        sim.cycle = cycle
+        sim.path_free = path_free
+        sim.region_last_persist = region_last_persist
+        l1._tick = l1_tick
+        l1.hits = l1_hits
+        l1.misses = l1_misses
+        code = codes[next_rare]
+        if code == "b":
+            sim._boundary()
+        elif code == "f":
+            sim._sync()
+        else:
+            sim._store(addrs[next_rare], is_ckpt=False)
+            sim._sync()
+        cycle = sim.cycle
+        path_free = sim.path_free
+        region_last_persist = sim.region_last_persist
+        l1_tick = l1._tick
+        l1_hits = l1.hits
+        l1_misses = l1.misses
+        next_rare = next(rare_iter, n)
+
+    # Close the final pure stretch.
+    k = n - run_start
+    if k:
+        y = cycle + k * commit_cost
+        if y < binade_top:
+            cycle = y
+        else:
+            cycle, binade_top = _replay_adds(cycle, commit_cost, k, cap)
+
+    # -- write the localized state back (packed-loop epilogue) --------
+    sim.cycle = cycle
+    sim.path_free = path_free
+    sim.region_last_persist = region_last_persist
+    l1._tick = l1_tick
+    l1.hits = l1_hits
+    l1.misses = l1_misses
+    sim._c_insts.value += len(codes)
+    sim._c_loads.value += codes.count("l")
+    sim._c_stores.value += codes.count("s") + codes.count("c")
+    sim._c_nvm_reads.value += n_nvm_reads
+    sim._c_nvm_writes.value += n_nvm_writes
+    sim._c_path_bytes.value += n_path_bytes
+    sim._c_wb_delays.value += n_wb_delays
+    sim._c_wpq_hits.value += n_wpq_hits
+    sim._c_df_stale.value += n_df_stale

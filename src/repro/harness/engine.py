@@ -180,6 +180,7 @@ def compute_point(
     point: Point,
     checkpoint: Optional[CheckpointPolicy] = None,
     key: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> SimStats:
     """Regenerate the trace(s) for *point* and simulate it.
 
@@ -187,7 +188,16 @@ def compute_point(
     name the file), the simulation runs through the checkpointable
     drivers -- cut every ``every`` events, persisted, resumable --
     producing stats bit-identical to the direct path.
+
+    ``backend`` selects the simulator execution strategy
+    (``--backend``); it is applied *after* the cache key is computed
+    because every backend produces bit-identical stats -- a cached
+    result is valid regardless of which backend computed it.
     """
+    if backend is not None:
+        point = dataclasses.replace(
+            point, machine=dataclasses.replace(point.machine, backend=backend)
+        )
     if checkpoint is not None and key is not None:
         return _checkpointed_point(point, checkpoint, key)
     if isinstance(point, MulticorePoint):
@@ -218,7 +228,8 @@ def compute_point(
 def _execute_task(task: Tuple) -> SimStats:
     key, point = task[0], task[1]
     checkpoint = task[2] if len(task) > 2 else None
-    return compute_point(point, checkpoint=checkpoint, key=key)
+    backend = task[3] if len(task) > 3 else None
+    return compute_point(point, checkpoint=checkpoint, key=key, backend=backend)
 
 
 def parallel_map(
@@ -337,6 +348,7 @@ class Engine:
         n_insts: Optional[int] = None,
         salt: Optional[str] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.jobs = jobs
         self.cache = MemoryCache() if cache is None else cache
@@ -347,6 +359,10 @@ class Engine:
         #: When set, in-flight simulations checkpoint to disk and can
         #: resume across harness invocations (``--checkpoint``).
         self.checkpoint = checkpoint
+        #: Simulator backend override (``--backend``); applied at
+        #: compute time, never part of cache keys (results are
+        #: bit-identical across backends by contract).
+        self.backend = backend
         self.last_run: Optional[RunInfo] = None
         #: Scheme provenance per experiment name, from the last run.
         self.provenance: Dict[str, Dict[str, object]] = {}
@@ -398,8 +414,11 @@ class Engine:
 
         # Phase 3: fan misses out over the pool and backfill the cache.
         with timer.phase("simulate"):
-            if self.checkpoint is not None:
-                tasks = [(key, point, self.checkpoint) for key, point in misses]
+            if self.checkpoint is not None or self.backend is not None:
+                tasks = [
+                    (key, point, self.checkpoint, self.backend)
+                    for key, point in misses
+                ]
             else:
                 tasks = misses
             computed = parallel_map(_execute_task, tasks, jobs=self.jobs)

@@ -20,9 +20,17 @@ from repro.workloads.synthetic import generate_trace, prime_ranges
 class Runner:
     """Runs and caches (app, instrument, machine, scheme) simulations."""
 
-    def __init__(self, n_insts: int = 50_000, seed: int = 1) -> None:
+    def __init__(
+        self,
+        n_insts: int = 50_000,
+        seed: int = 1,
+        backend: Optional[str] = None,
+    ) -> None:
         self.n_insts = n_insts
         self.seed = seed
+        #: Simulator execution strategy (bit-identical stats across
+        #: backends, so memoization keys need not include it).
+        self.backend = backend
         self._traces: Dict[Tuple[str, Optional[str]], list] = {}
         self._stats: Dict[Tuple, SimStats] = {}
 
@@ -54,6 +62,7 @@ class Runner:
                 machine,
                 scheme,
                 prime=prime_ranges(PROFILES[app]),
+                backend=self.backend,
             )
             self._stats[key] = stats
         return stats

@@ -2,7 +2,7 @@
 
 ::
 
-    python -m repro.perf                         # full suite -> BENCH_PR5.json
+    python -m repro.perf                         # full suite -> BENCH_PR8.json
     python -m repro.perf --quick                 # CI-sized runs
     python -m repro.perf machine.run.cwsp        # a subset
     python -m repro.perf --list                  # what exists
@@ -51,8 +51,17 @@ def git_sha() -> str:
     return "unknown"
 
 
+def numpy_version() -> str:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return "absent"
+
+
 def document(results: Dict[str, BenchResult], config: BenchConfig) -> dict:
-    """The machine-readable benchmark document (BENCH_PR5.json)."""
+    """The machine-readable benchmark document (BENCH_PR8.json)."""
     from repro.arch.config import skylake_machine
 
     machine = skylake_machine(scaled=True)
@@ -63,6 +72,9 @@ def document(results: Dict[str, BenchResult], config: BenchConfig) -> dict:
         "created_unix": time.time(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
+        # The columnar backend's sidecar build runs through numpy, so
+        # the exact library version is part of a number's provenance.
+        "numpy": numpy_version(),
         "platform": platform.platform(),
         "mode": "quick" if config.quick else "full",
         "config": {
@@ -174,9 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_PR5.json",
+        default="BENCH_PR8.json",
         metavar="PATH",
-        help="benchmark JSON output (default: BENCH_PR5.json)",
+        help="benchmark JSON output (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--compare",

@@ -55,6 +55,61 @@ class TestPackedTrace:
         with pytest.raises(ValueError):
             PackedTrace("ll", [8])
 
+    def test_invalid_codes_rejected_at_construction(self):
+        """Constructing with an unknown event code fails immediately,
+        naming the offending code(s) -- not thousands of events later
+        inside a simulator loop."""
+        with pytest.raises(ValueError, match=r"invalid event code\(s\) \['z'\]"):
+            PackedTrace("lza", [8, 0, 0])
+        with pytest.raises(ValueError, match=r"\['q', 'z'\]"):
+            PackedTrace("zq", [0, 0])
+        # The error message lists the valid alphabet.
+        with pytest.raises(ValueError, match="valid codes are"):
+            PackedTrace("?", [0])
+
+    def test_digest_layout_pinned(self):
+        """digest() must keep the historical byte layout: the code
+        string, then each address as 10 bytes little-endian, in order.
+
+        Checked two ways: against a literal reimplementation of the
+        per-address update loop, and against a pinned hex so *any*
+        layout change -- including to the reimplementation -- trips the
+        test.  Checkpoint files and the trace cache store these hashes;
+        changing the layout would orphan all of them.
+        """
+        import hashlib
+
+        trace = PackedTrace("lasbcfx", [64, 0, 128, 0, 8, 0, 1 << 40])
+        h = hashlib.sha256()
+        h.update(trace.codes.encode("ascii"))
+        for addr in trace.addrs:
+            h.update(addr.to_bytes(10, "little", signed=False))
+        assert trace.digest() == h.hexdigest()
+        assert trace.digest() == (
+            "3bc575960bce08ede31a8b768d70259bb9f26f4b8c527ad3ee87ff287173792a"
+        )
+
+    def test_digest_stability_on_generated_stream(self):
+        """Pinned digest of a generated stream: trips if either the
+        generator output or the digest algorithm drifts."""
+        trace = generate_trace(
+            PROFILES["astar"], 2_000, seed=5, instrument="pruned", packed=True
+        )
+        assert trace.digest() == (
+            "10c1052f43d9dee052e0accaa65f4ffeeadab43af7ff0bff3f1b7cf9ff8996ca"
+        )
+
+    def test_sidecar_not_pickled(self):
+        """The columnar sidecar is derived data: pickling a trace with
+        a built sidecar round-trips the stream only."""
+        import pickle
+
+        trace = PackedTrace("lsa", [8, 16, 0])
+        trace.columnar()
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone == trace
+        assert clone._sidecar is None
+
     def test_generator_packed_matches_legacy(self):
         profile = PROFILES["astar"]
         for mode in (None, "unpruned", "pruned"):

@@ -1,0 +1,347 @@
+"""Columnar backend: bit-identity against the packed and reference loops.
+
+The columnar walk batches pure events and defers their commit-cost
+adds; everything here exists to pin the one contract that makes that
+admissible: for any stream, any scheme, and any machine, the columnar
+backend's stats are *bit-identical* to the packed loop's (which are in
+turn golden-pinned against the reference loop).  The differential
+matrix deliberately overlaps: catalog schemes on the golden config,
+every workload profile, random traces against random scheme knobs,
+checkpoint cut-and-resume, and the explicit fallback cases.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.arch.checkpoint import CheckpointableRun, SimCheckpoint
+from repro.arch.columnar import ColumnarTrace, _replay_adds
+from repro.arch.config import machine_with_cache_levels, skylake_machine
+from repro.arch.machine import BACKENDS, TimingSimulator, simulate
+from repro.arch.scheme import Scheme
+from repro.arch.trace import PackedTrace
+from repro.schemes.catalog import baseline, capri, cwsp, ido, psp_ideal, replaycache
+from repro.workloads.profiles import PROFILES
+from repro.workloads.synthetic import SyntheticStream, generate_trace, prime_ranges
+
+SCHEME_FACTORIES = {
+    "baseline": baseline,
+    "cwsp": cwsp,
+    "capri": capri,
+    "replaycache": replaycache,
+    "ido": ido,
+    "psp_ideal": psp_ideal,
+}
+
+
+def _stats(trace, machine, scheme, backend, prime=None):
+    return simulate(trace, machine, scheme, prime=prime, backend=backend).to_dict()
+
+
+# ----------------------------------------------------------------------
+# The deferred-add replay: exactness of the batching primitive
+# ----------------------------------------------------------------------
+class TestReplayAdds:
+    def _brute(self, x, c, n):
+        for _ in range(n):
+            x += c
+        return x
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_matches_sequential_adds(self, width):
+        c = 1.0 / width
+        cap = math.ldexp(c, 52)
+        rng = random.Random(width)
+        for _ in range(200):
+            # Bias starts toward binade edges so crossings are common.
+            exp = rng.randint(0, 40)
+            x = math.ldexp(1.0, exp) * rng.uniform(0.5, 1.0)
+            if rng.random() < 0.25:
+                x = math.nextafter(math.ldexp(1.0, exp), math.inf)
+            n = rng.randint(0, 3000)
+            got, top = _replay_adds(x, c, n, cap)
+            assert got == self._brute(x, c, n)
+            if top:
+                # The returned binade top licenses the caller's inline
+                # fused add: verify it against a further batch.
+                m = rng.randint(0, 50)
+                if got + m * c < top:
+                    assert got + m * c == self._brute(got, c, m)
+
+    def test_from_zero(self):
+        cap = math.ldexp(0.5, 52)
+        got, _top = _replay_adds(0.0, 0.5, 7, cap)
+        assert got == self._brute(0.0, 0.5, 7)
+
+    def test_tiny_increment_falls_back(self):
+        # c below the ulp of x: the cap forces literal replay.
+        c = 0.25
+        cap = math.ldexp(c, 52)
+        x = math.ldexp(1.0, 55)
+        got, top = _replay_adds(x, c, 100, cap)
+        assert got == self._brute(x, c, 100)
+        assert top == 0.0  # fast path disabled above the cap
+
+
+# ----------------------------------------------------------------------
+# Sidecar structure
+# ----------------------------------------------------------------------
+class TestColumnarTrace:
+    def test_columns(self):
+        trace = PackedTrace("lasbcfx", [64, 0, 128, 0, 8, 0, 72])
+        col = ColumnarTrace(trace)
+        assert col.n == 7
+        assert col.rare_pos == [3, 5, 6]
+        assert col.ls_pos == [0, 2, 4]
+        assert col.ls_store == [False, True, True]
+        lines, sets, tags = col.geometry(6, 7, 3)
+        assert lines == [64 >> 6, 128 >> 6, 8 >> 6]
+        assert sets == [line & 7 for line in lines]
+        assert tags == [line >> 3 for line in lines]
+        assert list(col.region_ids) == [0, 0, 0, 0, 1, 1, 1]
+        assert list(col.mc_indices(2, 1)) == [(a >> 2) & 1 for a in (64, 128, 8)]
+
+    def test_sidecar_cached_and_derived(self):
+        trace = PackedTrace("ls", [8, 16])
+        assert trace.columnar() is trace.columnar()
+        # Unbuildable: address beyond int64 -> None, cached.
+        wide = PackedTrace("l", [1 << 70])
+        assert wide.columnar() is None
+        assert wide.columnar() is None
+
+
+# ----------------------------------------------------------------------
+# Backend selection plumbing
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_backend_constants(self):
+        assert BACKENDS == ("packed", "columnar", "reference")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            TimingSimulator(skylake_machine(scaled=True), cwsp(), backend="simd")
+
+    def test_env_var_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "columnar")
+        sim = TimingSimulator(skylake_machine(scaled=True), cwsp())
+        assert sim.backend == "columnar"
+        assert sim._columnar_run is not None
+
+    def test_machine_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "columnar")
+        machine = skylake_machine(scaled=True, backend="reference")
+        assert TimingSimulator(machine, cwsp()).backend == "reference"
+
+    def test_explicit_arg_beats_machine_config(self):
+        machine = skylake_machine(scaled=True, backend="reference")
+        sim = TimingSimulator(machine, cwsp(), backend="columnar")
+        assert sim.backend == "columnar"
+
+    def test_default_is_packed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert TimingSimulator(skylake_machine(scaled=True), cwsp()).backend == (
+            "packed"
+        )
+
+
+# ----------------------------------------------------------------------
+# Differential identity: columnar == packed == reference
+# ----------------------------------------------------------------------
+class TestGoldenIdentity:
+    """The golden config (astar, 4000 insts, seed 3) across the full
+    scheme catalog, all three backends."""
+
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+    def test_catalog_schemes(self, scheme_name):
+        factory = SCHEME_FACTORIES[scheme_name]
+        machine = skylake_machine(scaled=True)
+        profile = PROFILES["astar"]
+        prime = prime_ranges(profile)
+        trace = generate_trace(profile, 4_000, seed=3, instrument="pruned", packed=True)
+        ref = _stats(trace, machine, factory(), "reference", prime)
+        packed = _stats(trace, machine, factory(), "packed", prime)
+        col = _stats(trace, machine, factory(), "columnar", prime)
+        assert col == packed
+        assert col == ref
+
+
+class TestAllProfilesIdentity:
+    """Every workload profile, packed vs columnar, two schemes with
+    very different impure-event mixes."""
+
+    @pytest.mark.parametrize("scheme_name", ["cwsp", "capri"])
+    def test_profiles(self, scheme_name):
+        factory = SCHEME_FACTORIES[scheme_name]
+        machine = skylake_machine(scaled=True)
+        for app, profile in PROFILES.items():
+            trace = generate_trace(
+                profile, 1_500, seed=11, instrument="pruned", packed=True
+            )
+            packed = _stats(trace, machine, factory(), "packed")
+            col = _stats(trace, machine, factory(), "columnar")
+            assert col == packed, app
+
+
+def _random_trace(rng, n):
+    codes = []
+    addrs = []
+    span = 1 << 22
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.45:
+            codes.append("a")
+            addrs.append(0)
+        elif r < 0.70:
+            codes.append("l")
+            addrs.append(rng.randrange(0, span, 8))
+        elif r < 0.90:
+            codes.append(rng.choice("ssc"))
+            addrs.append(rng.randrange(0, span, 8))
+        elif r < 0.96:
+            codes.append("b")
+            addrs.append(0)
+        elif r < 0.98:
+            codes.append("f")
+            addrs.append(0)
+        else:
+            codes.append("x")
+            addrs.append(rng.randrange(0, span, 8))
+    return PackedTrace("".join(codes), addrs)
+
+
+def _random_scheme(rng):
+    return Scheme(
+        name="fuzz",
+        persist_stores=rng.random() < 0.8,
+        persist_bytes=rng.choice([8, 64]),
+        nvm_write_amp=rng.choice([1.0, 2.0, 8.0]),
+        stall_at_boundary=rng.random() < 0.3,
+        mc_speculation=rng.random() < 0.7,
+        wb_delay=rng.random() < 0.5,
+        wpq_load_delay=rng.random() < 0.5,
+        extra_insts_per_store=rng.choice([0, 0, 1, 2]),
+        extra_insts_per_region=rng.choice([0, 4]),
+        ckpt_stores_per_region=rng.choice([0.0, 2.0]),
+        coalesce_lines=rng.random() < 0.4,
+    )
+
+
+class TestRandomizedIdentity:
+    """Seeded random traces x random scheme knobs x machine variants.
+
+    This is the matrix that catches precondition mistakes the curated
+    configs cannot: every combination of persist/coalesce/overhead
+    knobs against streams with atomics, fences, and dense boundaries.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_trace_random_scheme(self, seed):
+        rng = random.Random(1000 + seed)
+        trace = _random_trace(rng, 800)
+        scheme = _random_scheme(rng)
+        machine = skylake_machine(
+            scaled=True, commit_width=rng.choice([1, 2, 4])
+        )
+        ref = _stats(trace, machine, scheme, "reference")
+        packed = _stats(trace, machine, scheme, "packed")
+        col = _stats(trace, machine, scheme, "columnar")
+        assert col == packed
+        assert col == ref
+
+    def test_boundary_and_fence_heavy_stream(self):
+        # Adjacent rare events, rare event first/last, empty pure runs.
+        trace = PackedTrace(
+            "bflsbbxcafb", [0, 0, 8, 16, 0, 0, 24, 32, 0, 0, 0]
+        )
+        machine = skylake_machine(scaled=True)
+        for factory in (cwsp, capri, baseline):
+            packed = _stats(trace, machine, factory(), "packed")
+            col = _stats(trace, machine, factory(), "columnar")
+            assert col == packed
+
+    def test_empty_trace(self):
+        trace = PackedTrace("", [])
+        machine = skylake_machine(scaled=True)
+        assert _stats(trace, machine, cwsp(), "columnar") == _stats(
+            trace, machine, cwsp(), "packed"
+        )
+
+
+# ----------------------------------------------------------------------
+# Fallbacks: the vector path must never be required for correctness
+# ----------------------------------------------------------------------
+class TestFallbacks:
+    def test_non_power_of_two_commit_width(self):
+        machine = skylake_machine(scaled=True, commit_width=3)
+        sim = TimingSimulator(machine, cwsp(), backend="columnar")
+        assert sim._columnar_run is None  # gate closed, silent degrade
+        profile = PROFILES["astar"]
+        trace = generate_trace(profile, 2_000, seed=7, instrument="pruned", packed=True)
+        assert _stats(trace, machine, cwsp(), "columnar") == _stats(
+            trace, machine, cwsp(), "packed"
+        )
+
+    def test_nonconforming_hierarchy(self):
+        # 3 SRAM levels: outside the packed fast path entirely; the
+        # columnar backend degrades all the way to the reference loop.
+        machine = machine_with_cache_levels(3)
+        profile = PROFILES["astar"]
+        trace = generate_trace(profile, 2_000, seed=7, instrument="pruned", packed=True)
+        assert _stats(trace, machine, cwsp(), "columnar") == _stats(
+            trace, machine, cwsp(), "reference"
+        )
+
+    def test_unbuildable_sidecar_falls_back_to_packed(self):
+        # Addresses beyond int64: ColumnarTrace raises OverflowError,
+        # columnar() caches None, run_columnar delegates to the packed
+        # loop mid-flight.
+        trace = PackedTrace("lsalsb", [1 << 70, 8, 0, 16, 1 << 70, 0])
+        machine = skylake_machine(scaled=True)
+        assert trace.columnar() is None
+        assert _stats(trace, machine, cwsp(), "columnar") == _stats(
+            trace, machine, cwsp(), "packed"
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint cut-and-resume under the columnar backend
+# ----------------------------------------------------------------------
+class TestCheckpointIdentity:
+    def _stream(self):
+        return SyntheticStream(PROFILES["astar"], 6_000, seed=4, instrument="pruned")
+
+    def _uninterrupted(self, machine):
+        run = CheckpointableRun(
+            machine, cwsp(), stream=self._stream(),
+            prime=tuple(prime_ranges(PROFILES["astar"])),
+        )
+        return run.run_to_end()
+
+    def _cut_and_resume(self, cut_machine, resume_machine, cut_at=2_500):
+        run = CheckpointableRun(
+            cut_machine, cwsp(), stream=self._stream(),
+            prime=tuple(prime_ranges(PROFILES["astar"])),
+        )
+        run.run_for_events(cut_at)
+        blob = run.checkpoint().to_json()
+        resumed = CheckpointableRun.resume(
+            SimCheckpoint.from_json(blob), resume_machine, cwsp()
+        )
+        return resumed.run_to_end()
+
+    def test_columnar_cut_resume_matches_uninterrupted(self):
+        machine = skylake_machine(scaled=True, backend="columnar")
+        direct = self._uninterrupted(machine)
+        resumed = self._cut_and_resume(machine, machine)
+        assert resumed.to_dict() == direct.to_dict()
+
+    def test_cross_backend_resume(self):
+        # backend is excluded from the checkpoint's config digest: a
+        # checkpoint cut under columnar resumes under packed (and the
+        # other way around) with identical stats.
+        packed_m = skylake_machine(scaled=True)
+        col_m = skylake_machine(scaled=True, backend="columnar")
+        direct = self._uninterrupted(packed_m)
+        assert self._cut_and_resume(col_m, packed_m).to_dict() == direct.to_dict()
+        assert self._cut_and_resume(packed_m, col_m).to_dict() == direct.to_dict()

@@ -45,6 +45,7 @@ class TestRegistry:
         expected = {
             "calibration",
             "machine.run.cwsp",
+            "machine.run.columnar",
             "machine.run.baseline",
             "machine.run.capri",
             "machine.run_multicore",
