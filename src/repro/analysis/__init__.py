@@ -4,6 +4,9 @@ These play the role of LLVM's analyses in the paper's compiler:
 ``alias`` stands in for LLVM alias analysis (Section IV-A), ``liveness``
 for LLVM liveness analysis (Section IV-B), and ``dominators``/``loops``
 support region-boundary placement at loop headers.
+
+``pareto`` is the odd one out: generic multi-objective dominance used
+by the design-space exploration frontier (:mod:`repro.explore`).
 """
 
 from repro.analysis.cfg import CFG
@@ -11,6 +14,7 @@ from repro.analysis.dominators import DominatorTree
 from repro.analysis.loops import Loop, find_loops
 from repro.analysis.liveness import Liveness
 from repro.analysis.alias import AliasAnalysis, Location, TOP_SITE
+from repro.analysis.pareto import dominates, front_indices, pareto_front
 from repro.analysis.reaching import ReachingDefs
 
 __all__ = [
@@ -22,5 +26,8 @@ __all__ = [
     "Loop",
     "ReachingDefs",
     "TOP_SITE",
+    "dominates",
     "find_loops",
+    "front_indices",
+    "pareto_front",
 ]

@@ -1,0 +1,52 @@
+"""Multi-objective dominance and Pareto fronts.
+
+Generic over objective vectors (all objectives are *minimized*); the
+design-space exploration driver (:mod:`repro.explore.frontier`) uses
+this to rank hardware configurations on (slowdown, hardware cost,
+recovery latency).  Deterministic: ties and ordering never depend on
+dict iteration or floating-point ambiguity beyond the values
+themselves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when *a* is no worse than *b* everywhere and better somewhere.
+
+    All objectives minimize.  Equal vectors do not dominate each other,
+    so duplicated configurations all survive to the front.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    better = any(x < y for x, y in zip(a, b))
+    return no_worse and better
+
+
+def pareto_front(vectors: Sequence[Sequence[float]]) -> List[bool]:
+    """Flag per vector: is it Pareto-optimal (non-dominated) in *vectors*?
+
+    O(n^2) pairwise sweep -- fronts here are thousands of configuration
+    cells, not millions of points, and the simple sweep keeps the
+    semantics obvious.
+    """
+    n = len(vectors)
+    optimal = [True] * n
+    for i in range(n):
+        if not optimal[i]:
+            continue
+        for j in range(n):
+            if i != j and dominates(vectors[j], vectors[i]):
+                optimal[i] = False
+                break
+    return optimal
+
+
+def front_indices(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the Pareto-optimal vectors, in input order."""
+    return [i for i, keep in enumerate(pareto_front(vectors)) if keep]

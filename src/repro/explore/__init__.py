@@ -1,0 +1,55 @@
+"""Production-scale design-space exploration with locked provenance.
+
+The paper sweeps one hardware knob at a time (Figures 19-27); this
+package sweeps the cross-product -- scheme catalog x PB/RBT/WPQ/WB
+sizes x NVM technologies x CXL devices x all 37 workload profiles --
+sharded over the harness engine's worker pool and content-addressed
+cache, resumable mid-campaign, with every published frontier locked in
+a byte-canonical manifest that ``--frozen`` (and CI) replays and
+verifies.
+
+Entry point: ``python -m repro.explore`` (see :mod:`repro.explore.cli`).
+"""
+
+from repro.explore.campaign import (
+    CampaignCounters,
+    CampaignError,
+    CampaignResult,
+    run_campaign,
+    run_frozen,
+)
+from repro.explore.frontier import (
+    FrontierEntry,
+    hardware_cost_bytes,
+    recovery_latency_cycles,
+    score_cells,
+)
+from repro.explore.lockfile import Lockfile, LockfileDivergence
+from repro.explore.spec import (
+    PRESETS,
+    Cell,
+    CampaignPlan,
+    SweepSpec,
+    expand,
+    load_spec,
+)
+
+__all__ = [
+    "CampaignCounters",
+    "CampaignError",
+    "CampaignPlan",
+    "CampaignResult",
+    "Cell",
+    "FrontierEntry",
+    "Lockfile",
+    "LockfileDivergence",
+    "PRESETS",
+    "SweepSpec",
+    "expand",
+    "hardware_cost_bytes",
+    "load_spec",
+    "recovery_latency_cycles",
+    "run_campaign",
+    "run_frozen",
+    "score_cells",
+]

@@ -1,0 +1,3 @@
+from repro.explore.cli import main
+
+main()

@@ -24,6 +24,7 @@ trial fan-out in :mod:`repro.faults.campaign`.
 
 from __future__ import annotations
 
+import ast
 import dataclasses
 import hashlib
 import json
@@ -50,31 +51,138 @@ from repro.workloads.synthetic import generate_trace, prime_ranges
 #: Default on-disk cache location, relative to the working directory.
 CACHE_DIR = ".repro-cache"
 
-#: Source packages whose content invalidates cached simulation results.
-_SALTED_PACKAGES = ("repro.arch", "repro.workloads", "repro.schemes")
+#: The modules a simulation point actually executes: trace generation,
+#: the timing simulator, and the scheme catalog.  The cache salt is the
+#: hash of the module-level import closure of these entries (within
+#: ``repro.``), so editing the fault engine, the IR interpreter, the
+#: recovery checker, or the harness itself does not invalidate a single
+#: cached point.
+_SALT_ENTRY_MODULES = (
+    "repro.arch.machine",
+    "repro.arch.multicore",
+    "repro.schemes.catalog",
+    "repro.workloads.profiles",
+    "repro.workloads.synthetic",
+)
+
+#: Reachable-in-principle modules excluded from the salt: alternate
+#: execution strategies held bit-identical to the packed loop by
+#: contract (and by CI's golden-identity reruns), so editing them
+#: cannot change what a cached result would be.  Both are lazy,
+#: function-level imports on the simulation path, which the
+#: module-level AST walk below already skips; the explicit set makes
+#: the contract auditable and keeps them out even if the import style
+#: changes.
+_SALT_CONTRACT_EXCLUDED = frozenset(
+    {
+        "repro.arch.columnar",  # backend= is excluded from digests too
+        "repro.arch.checkpoint",  # cut/resume is bit-identical by contract
+    }
+)
 
 _code_salt: Optional[str] = None
+_salt_recipe: Optional[Dict[str, object]] = None
+
+
+def _src_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).parent.parent
+
+
+def _module_file(name: str) -> Optional[Path]:
+    """Source file for dotted module *name*, or None if it is not ours."""
+    rel = Path(*name.split("."))
+    as_module = _src_root() / rel.with_suffix(".py")
+    if as_module.is_file():
+        return as_module
+    as_package = _src_root() / rel / "__init__.py"
+    if as_package.is_file():
+        return as_package
+    return None
+
+
+def _module_level_imports(path: Path) -> List[str]:
+    """Dotted ``repro.*`` module names imported at module level.
+
+    Walks only module-level statements (recursing through top-level
+    ``if``/``try`` blocks), so lazy function-level imports -- the
+    columnar backend, the checkpoint drivers -- stay out of the salt.
+    ``from pkg.mod import name`` resolves to ``pkg.mod.name`` when that
+    is itself a module, else to ``pkg.mod`` (e.g. a package
+    ``__init__`` re-export, whose own imports are then followed).
+    """
+    tree = ast.parse(path.read_bytes())
+    found: List[str] = []
+
+    def visit(stmts) -> None:
+        for node in stmts:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro."):
+                        found.append(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and node.module.startswith("repro"):
+                    for alias in node.names:
+                        sub = f"{node.module}.{alias.name}"
+                        found.append(sub if _module_file(sub) else node.module)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+
+    visit(tree.body)
+    return found
+
+
+def salt_recipe() -> Dict[str, object]:
+    """What the cache salt hashes, as data (recorded in lockfiles).
+
+    ``{"entries": [...], "excluded": [...], "modules": {name: sha256}}``
+    -- the dependency-sliced module set a simulation point executes,
+    with one content hash per module file.  Deterministic for a given
+    tree; :func:`code_salt` is the digest of this recipe's canonical
+    JSON form.
+    """
+    global _salt_recipe
+    if _salt_recipe is None:
+        modules: Dict[str, str] = {}
+        queue = list(_SALT_ENTRY_MODULES)
+        while queue:
+            name = queue.pop()
+            if name in modules or name in _SALT_CONTRACT_EXCLUDED:
+                continue
+            path = _module_file(name)
+            if path is None:
+                continue
+            modules[name] = hashlib.sha256(path.read_bytes()).hexdigest()
+            queue.extend(_module_level_imports(path))
+        _salt_recipe = {
+            "entries": sorted(_SALT_ENTRY_MODULES),
+            "excluded": sorted(_SALT_CONTRACT_EXCLUDED),
+            "modules": {name: modules[name] for name in sorted(modules)},
+        }
+    return _salt_recipe
 
 
 def code_salt() -> str:
-    """Hash of every source file the simulation result depends on.
+    """Hash of the source modules a simulation result depends on.
 
     Editing the simulator, the workload generator, or the scheme
     catalog changes the salt and invalidates the whole cache; editing
-    the harness (reducers, report formatting) does not.
+    the harness, the fault engine, the compiler/IR stack, or the
+    contract-pinned backends (columnar, checkpoint) does not -- see
+    :func:`salt_recipe` for exactly what is hashed.
     """
     global _code_salt
     if _code_salt is None:
-        import importlib
-
-        h = hashlib.sha256()
-        for pkg_name in _SALTED_PACKAGES:
-            pkg = importlib.import_module(pkg_name)
-            pkg_dir = Path(pkg.__file__).parent
-            for path in sorted(pkg_dir.rglob("*.py")):
-                h.update(str(path.relative_to(pkg_dir)).encode())
-                h.update(path.read_bytes())
-        _code_salt = h.hexdigest()[:16]
+        canonical = json.dumps(salt_recipe(), sort_keys=True, separators=(",", ":"))
+        _code_salt = hashlib.sha256(canonical.encode()).hexdigest()[:16]
     return _code_salt
 
 
@@ -254,6 +362,39 @@ def parallel_map(
         return list(pool.imap_unordered(fn, tasks, chunksize=chunksize))
 
 
+def resolve_points(
+    tasks: Sequence[Tuple[str, Point]],
+    cache,
+    jobs: int = 1,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    backend: Optional[str] = None,
+) -> Tuple[Dict[Point, SimStats], int]:
+    """Serve ``(cache_key, point)`` *tasks* from *cache*, simulating
+    misses over the worker pool and backfilling the cache.
+
+    The one point-execution path shared by :meth:`Engine.run` and the
+    design-space campaign driver's shards (:mod:`repro.explore`).
+    Returns ``({point: stats}, n_simulated)``.
+    """
+    resolved: Dict[Point, SimStats] = {}
+    misses: List[Tuple[str, Point]] = []
+    for key, point in tasks:
+        hit = cache.get(key)
+        if hit is None:
+            misses.append((key, point))
+        else:
+            resolved[point] = hit
+    if checkpoint is not None or backend is not None:
+        work: Sequence[Tuple] = [(k, p, checkpoint, backend) for k, p in misses]
+    else:
+        work = misses
+    computed = parallel_map(_execute_task, work, jobs=jobs)
+    for (key, point), stats in zip(misses, computed):
+        cache.put(key, point, stats)
+        resolved[point] = stats
+    return resolved, len(misses)
+
+
 # ----------------------------------------------------------------------
 # Result caches
 # ----------------------------------------------------------------------
@@ -394,37 +535,24 @@ class Engine:
                 for point in spec.plan(self.context_for(spec)):
                     points.setdefault(point, None)
 
-        # Phase 2: split cache hits from work.
-        with timer.phase("cache"):
-            resolved: Dict[Point, SimStats] = {}
-            misses: List[Tuple[str, Point]] = []
-            for point in points:
-                key = point_cache_key(point, self._salt)
-                hit = self.cache.get(key)
-                if hit is None:
-                    misses.append((key, point))
-                else:
-                    resolved[point] = hit
+        # Phases 2+3: serve from the cache, fan misses out over the
+        # pool, and backfill (the same path the explore campaign
+        # driver's shards run through).
+        with timer.phase("resolve"):
+            tasks = [(point_cache_key(point, self._salt), point) for point in points]
+            resolved, executed = resolve_points(
+                tasks,
+                self.cache,
+                jobs=self.jobs,
+                checkpoint=self.checkpoint,
+                backend=self.backend,
+            )
         info = RunInfo(
-            planned=len(points), executed=len(misses),
-            cached=len(points) - len(misses),
+            planned=len(points), executed=executed,
+            cached=len(points) - executed,
             phase_seconds=timer.seconds,
         )
         say(f"plan: {info.describe()} (jobs={self.jobs})")
-
-        # Phase 3: fan misses out over the pool and backfill the cache.
-        with timer.phase("simulate"):
-            if self.checkpoint is not None or self.backend is not None:
-                tasks = [
-                    (key, point, self.checkpoint, self.backend)
-                    for key, point in misses
-                ]
-            else:
-                tasks = misses
-            computed = parallel_map(_execute_task, tasks, jobs=self.jobs)
-            for (key, point), stats in zip(misses, computed):
-                self.cache.put(key, point, stats)
-                resolved[point] = stats
 
         # Phase 4: reduce every experiment and check its shape.
         results: Dict[str, FigureResult] = {}

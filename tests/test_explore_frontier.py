@@ -1,0 +1,100 @@
+"""Frontier scoring: cost/recovery models, Pareto flags, determinism."""
+
+from repro.analysis.pareto import dominates, front_indices, pareto_front
+from repro.explore.frontier import (
+    frontier_dict,
+    frontier_markdown,
+    hardware_cost_bytes,
+    recovery_latency_cycles,
+    score_cells,
+)
+from repro.explore.spec import Cell, SweepSpec, expand
+from repro.harness.engine import compute_point
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates((1.0, 1.0), (2.0, 1.0))
+        assert not dominates((2.0, 1.0), (1.0, 1.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))  # equal: no dominance
+        assert not dominates((1.0, 2.0), (2.0, 1.0))  # trade-off
+
+    def test_front(self):
+        vectors = [(1, 3), (3, 1), (2, 2), (3, 3), (1, 3)]
+        assert pareto_front(vectors) == [True, True, True, False, True]
+        assert front_indices(vectors) == [0, 1, 2, 4]
+
+    def test_arity_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestCostModel:
+    def test_cwsp_vs_capri_buffer_override(self):
+        cwsp_cell = Cell("cwsp", None, None, None, None, "PMEM")
+        capri_cell = Cell("capri", None, None, None, None, "PMEM")
+        # cWSP: 50-entry PB of 8B+8B tag; Capri overrides to 288
+        # entries of 64B lines -- far more battery-backed bytes.
+        assert hardware_cost_bytes(capri_cell) > hardware_cost_bytes(cwsp_cell)
+
+    def test_knobs_scale_cost(self):
+        small = Cell("cwsp", 20, 8, 8, 16, "PMEM")
+        big = Cell("cwsp", 50, 16, 24, 32, "PMEM")
+        assert hardware_cost_bytes(small) < hardware_cost_bytes(big)
+
+    def test_psp_free(self):
+        assert hardware_cost_bytes(Cell("psp-ideal", None, None, None, None, "PMEM")) == 0
+
+    def test_recovery_zero_without_regions(self):
+        cell = Cell("psp-ideal", None, None, None, None, "PMEM")
+        spec = SweepSpec(
+            name="x", schemes=("psp-ideal",), profiles=("astar",), n_insts=1000
+        )
+        plan = expand(spec)
+        stats = compute_point(plan.targets[(cell, "astar")])
+        assert recovery_latency_cycles(stats) == 0.0
+
+    def test_recovery_positive_with_regions(self):
+        spec = SweepSpec(
+            name="x", schemes=("cwsp",), profiles=("astar",), n_insts=1000
+        )
+        plan = expand(spec)
+        cell = plan.cells[0]
+        stats = compute_point(plan.targets[(cell, "astar")])
+        assert recovery_latency_cycles(stats) > 0.0
+
+
+class TestScoring:
+    def _scored(self):
+        spec = SweepSpec(
+            name="x",
+            schemes=("cwsp",),
+            profiles=("astar", "lbm"),
+            wpq_entries=(8, 24),
+            n_insts=1000,
+        )
+        plan = expand(spec)
+        results = {p: compute_point(p) for p in plan.points}
+        return plan, score_cells(plan, results)
+
+    def test_every_cell_scored_and_finite(self):
+        import math
+
+        plan, entries = self._scored()
+        assert len(entries) == len(plan.cells)
+        for e in entries:
+            assert math.isfinite(e.gmean_slowdown) and e.gmean_slowdown > 0.9
+            assert e.hw_cost_bytes > 0
+            assert math.isfinite(e.recovery_cycles)
+
+    def test_some_cell_is_optimal_and_reports_deterministic(self):
+        plan, entries = self._scored()
+        assert any(e.pareto for e in entries)
+        d1 = frontier_dict(plan, entries)
+        d2 = frontier_dict(plan, entries)
+        assert d1 == d2
+        md = frontier_markdown(plan, entries)
+        assert "Design-space exploration: x" in md
+        assert md == frontier_markdown(plan, entries)

@@ -1,0 +1,147 @@
+"""Sweep spec canonicalization, expansion determinism, and presets."""
+
+import json
+
+import pytest
+
+from repro.explore.spec import (
+    MEMORY_TECHS,
+    PRESETS,
+    SCHEME_FACTORIES,
+    Cell,
+    SweepSpec,
+    expand,
+)
+from repro.harness.spec import SimPoint
+from repro.workloads.profiles import ALL_APPS
+
+SPEC = SweepSpec(
+    name="t",
+    schemes=("cwsp", "capri"),
+    profiles=("astar", "lbm"),
+    pb_entries=(20, 50),
+    nvm_techs=("PMEM", "ReRAM"),
+    n_insts=1000,
+)
+
+
+class TestCanonicalForm:
+    def test_roundtrip(self):
+        again = SweepSpec.from_dict(SPEC.to_dict())
+        assert again == SPEC
+        assert again.digest() == SPEC.digest()
+
+    def test_canonical_json_stable(self):
+        assert SPEC.canonical_json() == SPEC.canonical_json()
+        assert json.loads(SPEC.canonical_json())["name"] == "t"
+
+    def test_digest_sensitive_to_every_axis(self):
+        from dataclasses import replace
+
+        variants = [
+            replace(SPEC, schemes=("cwsp",)),
+            replace(SPEC, profiles=("astar",)),
+            replace(SPEC, pb_entries=(20,)),
+            replace(SPEC, rbt_entries=(8,)),
+            replace(SPEC, wpq_entries=(8,)),
+            replace(SPEC, wb_entries=(16,)),
+            replace(SPEC, nvm_techs=("PMEM",)),
+            replace(SPEC, n_insts=999),
+            replace(SPEC, seed=2),
+            replace(SPEC, instrument="unpruned"),
+        ]
+        digests = {s.digest() for s in [SPEC] + variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_overrides_change_digest(self):
+        assert SPEC.with_overrides(n_insts=500).digest() != SPEC.digest()
+        assert SPEC.with_overrides().digest() == SPEC.digest()
+
+    def test_validation_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="scheme"):
+            SweepSpec(name="x", schemes=("nope",)).validate()
+        with pytest.raises(ValueError, match="memory tech"):
+            SweepSpec(name="x", schemes=("cwsp",), nvm_techs=("DDR9",)).validate()
+        with pytest.raises(ValueError, match="profile"):
+            SweepSpec(name="x", schemes=("cwsp",), profiles=("nope",)).validate()
+
+
+class TestExpansion:
+    def test_cross_product_counts(self):
+        plan = expand(SPEC)
+        # 2 schemes x 2 pb x 2 nvm = 8 cells, x2 profiles targets,
+        # 2 nvm x 2 profiles baselines.
+        assert len(plan.cells) == 8
+        assert len(plan.targets) == 16
+        assert len(plan.baselines) == 4
+        assert len(plan.points) == 20  # all unique here
+
+    def test_deterministic_order(self):
+        p1 = expand(SPEC)
+        p2 = expand(SPEC)
+        assert p1.points == p2.points
+        assert p1.cells == p2.cells
+
+    def test_baselines_shared_across_knobs(self):
+        # The pb sweep shares one baseline per (nvm, profile): the
+        # persist-machinery knobs are invisible to the baseline scheme.
+        plan = expand(SPEC)
+        baseline_points = set(plan.baselines.values())
+        assert len(baseline_points) == 4
+        for point in baseline_points:
+            assert point.instrument is None
+            assert point.scheme.name == "baseline"
+
+    def test_empty_profiles_means_all(self):
+        spec = SweepSpec(name="x", schemes=("cwsp",), n_insts=100)
+        assert spec.effective_profiles == tuple(ALL_APPS)
+        assert len(spec.effective_profiles) == 37
+
+    def test_default_axis_is_machine_default(self):
+        spec = SweepSpec(
+            name="x", schemes=("cwsp",), profiles=("astar",), n_insts=100
+        )
+        plan = expand(spec)
+        assert len(plan.cells) == 1
+        cell = plan.cells[0]
+        assert cell.pb is None
+        assert cell.machine().pb_entries == 50  # stock scaled machine
+
+    def test_non_persisting_scheme_runs_uninstrumented(self):
+        spec = SweepSpec(
+            name="x", schemes=("psp-ideal",), profiles=("astar",), n_insts=100
+        )
+        plan = expand(spec)
+        (point,) = [
+            p for p in plan.points if isinstance(p, SimPoint) and p.scheme.name != "baseline"
+        ]
+        assert point.instrument is None
+
+    def test_cell_label_resolves_defaults(self):
+        cell = Cell("cwsp", None, None, None, None, "PMEM")
+        assert cell.label() == "cwsp/pb50/rbt16/wpq24/wb32/PMEM"
+
+
+class TestPresets:
+    def test_all_presets_validate_and_expand(self):
+        for name, spec in PRESETS.items():
+            spec.validate()
+            plan = expand(spec)
+            assert plan.points, name
+
+    def test_smoke_is_ci_sized(self):
+        plan = expand(PRESETS["smoke"])
+        assert len(plan.points) <= 30
+
+    def test_default_is_production_sized(self):
+        plan = expand(PRESETS["default"])
+        assert len(plan.points) >= 5_000
+
+    def test_full_is_tens_of_thousands(self):
+        plan = expand(PRESETS["full"])
+        assert len(plan.points) >= 30_000
+
+    def test_catalog_names_cover_factories(self):
+        full = PRESETS["full"]
+        assert set(full.schemes) == set(SCHEME_FACTORIES)
+        assert set(full.nvm_techs) == set(MEMORY_TECHS)

@@ -211,3 +211,61 @@ class TestEngineSemantics:
         prov = eng.provenance["a"]
         assert set(prov) == {"baseline", "cwsp"}
         assert prov["cwsp"]["persist_bytes"] == 8
+
+
+class TestSaltRecipe:
+    """The dependency-sliced cache salt (DESIGN.md section 9)."""
+
+    def test_recipe_covers_exactly_the_simulated_modules(self):
+        from repro.harness.engine import salt_recipe
+
+        modules = set(salt_recipe()["modules"])
+        # Everything a simulation point executes...
+        assert {
+            "repro.arch.machine",
+            "repro.arch.multicore",
+            "repro.arch.caches",
+            "repro.arch.queues",
+            "repro.arch.trace",
+            "repro.arch.metrics",
+            "repro.arch.config",
+            "repro.arch.scheme",
+            "repro.schemes.catalog",
+            "repro.workloads.profiles",
+            "repro.workloads.synthetic",
+        } <= modules
+        # ...and nothing a point never touches: the harness itself,
+        # the compiler/IR stack, the fault engine, and the two
+        # contract-pinned backends (bit-identical by CI contract).
+        for absent in (
+            "repro.harness.engine",
+            "repro.ir.interpreter",
+            "repro.compiler.pipeline",
+            "repro.faults.campaign",
+            "repro.workloads.adapter",
+            "repro.arch.checkpoint",
+            "repro.arch.columnar",
+        ):
+            assert absent not in modules, absent
+
+    def test_salt_is_recipe_digest_and_stable(self):
+        import hashlib
+        import json
+
+        from repro.harness.engine import salt_recipe
+
+        canonical = json.dumps(salt_recipe(), sort_keys=True, separators=(",", ":"))
+        assert code_salt() == hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        assert code_salt() == code_salt()
+
+    def test_recipe_hashes_match_files(self):
+        import hashlib
+        from pathlib import Path
+
+        import repro
+        from repro.harness.engine import salt_recipe
+
+        root = Path(repro.__file__).parent.parent
+        for name, digest in salt_recipe()["modules"].items():
+            path = root / Path(*name.split(".")).with_suffix(".py")
+            assert digest == hashlib.sha256(path.read_bytes()).hexdigest(), name
