@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -149,7 +150,10 @@ def _write_shard(
         "keys": keys,
         "results": results,
     }
-    tmp = path.with_suffix(".tmp")
+    # pid-suffixed temp name so two concurrent writers in the same
+    # directory (a serve daemon plus a manual campaign) cannot tear or
+    # cross-publish each other's shard; the rename stays atomic.
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
     tmp.write_text(json.dumps(payload, sort_keys=True, separators=(",", ":")))
     tmp.replace(path)  # atomic: a killed campaign never leaves torn shards
 
@@ -165,12 +169,15 @@ def run_campaign(
     jobs: int = 1,
     shard_size: int = DEFAULT_SHARD_SIZE,
     progress: Optional[Callable[[str], None]] = None,
+    meta: Optional[Dict[str, object]] = None,
 ) -> CampaignResult:
     """Run (or resume) the campaign for *spec* into *campaign_dir*.
 
     Writes ``shards/shard-NNNN.json`` as each shard completes,
     then ``lockfile.json``, ``frontier.json``, ``frontier.md``, and
-    ``experiments-section.md``.
+    ``experiments-section.md``.  *meta* lands in the lockfile's
+    unlocked ``meta`` block (e.g. the live-server provenance recorded
+    by ``python -m repro.explore --live-server``).
     """
     say = progress if progress is not None else lambda _msg: None
     spec.validate()
@@ -226,6 +233,7 @@ def run_campaign(
         point_keys=[key for key, _ in tasks],
         shard_size=shard_size,
         results_digest=results_digest(ordered),
+        meta=meta if meta is not None else {},
     )
 
     entries = score_cells(plan, results)

@@ -8,6 +8,7 @@
     python -m repro.explore --frozen campaigns/default/lockfile.json
     python -m repro.explore --frozen LOCK --expect-cached  # CI warm replay
     python -m repro.explore --preset smoke --update-experiments
+    python -m repro.explore --preset smoke --live-server serve-out
     python -m repro.explore --list-presets
 
 A campaign writes ``lockfile.json``, per-shard result files,
@@ -75,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore and do not write the on-disk result cache",
     )
     parser.add_argument(
+        "--live-server", default=None, metavar="DIR",
+        help="run against a serve daemon's cache: read DIR/status.json "
+        "(written by python -m repro.harness serve), verify its code salt "
+        "matches this checkout, and share its result cache so the campaign "
+        "reuses every point the daemon keeps warm",
+    )
+    parser.add_argument(
         "--n-insts", type=int, default=None, metavar="N",
         help="override the spec's trace length",
     )
@@ -111,12 +119,62 @@ def _list_presets() -> None:
         )
 
 
+def _live_server_status(out_dir: str) -> dict:
+    """Load and vet a serve daemon's status.json for cache sharing.
+
+    The campaign only piggybacks on the daemon's cache when both sides
+    agree on the dependency-sliced code salt; otherwise the campaign
+    would silently cold-start (different keys) or, worse, a stale
+    status file could point at results from another code version.
+    """
+    import json
+
+    from repro.harness.engine import code_salt
+
+    path = Path(out_dir) / "status.json"
+    try:
+        status = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"--live-server: no status.json under {out_dir} -- is "
+            "`python -m repro.harness serve` running with --out there?"
+        )
+    ours = code_salt()
+    if status.get("salt") != ours:
+        raise SystemExit(
+            f"--live-server: the daemon serves salt {status.get('salt')} but "
+            f"this checkout computes {ours}; the server has not caught up "
+            "with the current code (or runs different code) -- refusing to "
+            "mix caches"
+        )
+    print(
+        f"live server: generation {status.get('generation')} at salt {ours}, "
+        f"sharing cache {status.get('cache_dir')}",
+        flush=True,
+    )
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> None:
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
 
     if args.list_presets:
         _list_presets()
         return
+
+    meta = None
+    if args.live_server:
+        if args.no_cache:
+            raise SystemExit("--live-server and --no-cache are contradictory")
+        status = _live_server_status(args.live_server)
+        args.cache_dir = status["cache_dir"]
+        meta = {
+            "live_server": {
+                "out_dir": status["out_dir"],
+                "generation": status["generation"],
+                "salt": status["salt"],
+            }
+        }
 
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
     say = lambda msg: print(msg, flush=True)  # noqa: E731
@@ -152,6 +210,7 @@ def main(argv: Optional[List[str]] = None) -> None:
             jobs=args.jobs,
             shard_size=args.shard_size,
             progress=say,
+            meta=meta,
         )
     except CampaignError as exc:
         raise SystemExit(f"CAMPAIGN FAILED: {exc}")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import sys
 from dataclasses import dataclass, field
@@ -96,8 +97,11 @@ class Lockfile:
         return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
 
     def save(self, path: Path) -> None:
+        # pid-suffixed temp name: a serve daemon and a manual campaign
+        # sharing a directory must not cross-publish each other's
+        # half-written manifests (mirrors engine.ResultCache.put).
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(self.canonical_json())
         tmp.replace(path)
 

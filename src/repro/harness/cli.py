@@ -10,6 +10,8 @@
     python -m repro.harness --backend columnar   # batched simulator backend
     python -m repro.harness --out artifacts/     # JSON artifacts
     python -m repro.harness --list               # what exists
+    python -m repro.harness serve [...]          # live incremental daemon
+    python -m repro.harness subscribe OUT        # follow serve's ledger
 
 Requested experiments run as *one batch*: their point grids are
 unioned and deduplicated before anything simulates, and results land
@@ -114,7 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> None:
-    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    argv = list(argv if argv is not None else sys.argv[1:])
+
+    # Subcommand dispatch ahead of argparse: `serve` and `subscribe`
+    # own their flags (and `serve` must never collide with experiment
+    # names, which are positional here).
+    if argv and argv[0] == "serve":
+        from repro.harness.serve import main as serve_main
+
+        serve_main(argv[1:])
+        return
+    if argv and argv[0] == "subscribe":
+        from repro.harness.subscribe import main as subscribe_main
+
+        subscribe_main(argv[1:])
+        return
+
+    args = build_parser().parse_args(argv)
 
     if args.list:
         width = max(len(name) for name in SPECS)

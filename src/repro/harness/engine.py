@@ -11,15 +11,19 @@ engine
    and scheme configuration, and a code-version salt over the simulator
    sources -- a warm rerun of ``python -m repro.harness`` does zero
    simulations;
-3. fans cache misses out over a ``multiprocessing`` pool (``--jobs N``);
-   workers regenerate traces from the point key, so only compact
+3. fans cache misses out over a process pool (``--jobs N``); workers
+   regenerate traces from the point key, so only compact
    :class:`~repro.arch.machine.SimStats` metric sets cross process
    boundaries;
 4. re-runs each experiment's reducer against the resolved results and
    enforces its expected-shape assertions.
 
 The same pool helper (:func:`parallel_map`) backs the fault campaign's
-trial fan-out in :mod:`repro.faults.campaign`.
+trial fan-out in :mod:`repro.faults.campaign` and the long-lived
+results service in :mod:`repro.harness.serve`; the salt machinery
+(:func:`compute_salt_recipe`, :func:`code_salt`) and the plan/classify
+split on :class:`Engine` are the queryable dirtiness API that service
+builds its incremental recomputation on.
 """
 
 from __future__ import annotations
@@ -30,6 +34,8 @@ import hashlib
 import json
 import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -90,7 +96,7 @@ def _src_root() -> Path:
     return Path(repro.__file__).parent.parent
 
 
-def _module_file(name: str) -> Optional[Path]:
+def module_file(name: str) -> Optional[Path]:
     """Source file for dotted module *name*, or None if it is not ours."""
     rel = Path(*name.split("."))
     as_module = _src_root() / rel.with_suffix(".py")
@@ -102,12 +108,34 @@ def _module_file(name: str) -> Optional[Path]:
     return None
 
 
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Is this ``if`` guard a ``TYPE_CHECKING`` (or ``typing.TYPE_CHECKING``)
+    gate?  Its body never executes at runtime."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
 def _module_level_imports(path: Path) -> List[str]:
     """Dotted ``repro.*`` module names imported at module level.
 
     Walks only module-level statements (recursing through top-level
     ``if``/``try`` blocks), so lazy function-level imports -- the
     columnar backend, the checkpoint drivers -- stay out of the salt.
+    Two import styles get special care so the closure matches what
+    actually *runs* (tested with planted fixture modules):
+
+    - ``if TYPE_CHECKING:`` bodies are skipped -- those imports exist
+      only for the type checker, so hashing them would invalidate
+      caches for edits no simulation can observe.  The ``else`` branch,
+      which does execute, is still walked.
+    - ``try: import x / except ImportError:`` arms are all walked -- an
+      optional import is a real runtime dependency whenever the module
+      is present, and silently dropping it would leave stale caches
+      live after an edit.
+
     ``from pkg.mod import name`` resolves to ``pkg.mod.name`` when that
     is itself a module, else to ``pkg.mod`` (e.g. a package
     ``__init__`` re-export, whose own imports are then followed).
@@ -125,9 +153,10 @@ def _module_level_imports(path: Path) -> List[str]:
                 if node.level == 0 and node.module and node.module.startswith("repro"):
                     for alias in node.names:
                         sub = f"{node.module}.{alias.name}"
-                        found.append(sub if _module_file(sub) else node.module)
+                        found.append(sub if module_file(sub) else node.module)
             elif isinstance(node, ast.If):
-                visit(node.body)
+                if not _is_type_checking_test(node.test):
+                    visit(node.body)
                 visit(node.orelse)
             elif isinstance(node, ast.Try):
                 visit(node.body)
@@ -140,37 +169,61 @@ def _module_level_imports(path: Path) -> List[str]:
     return found
 
 
-def salt_recipe() -> Dict[str, object]:
+def compute_salt_recipe(
+    entries: Sequence[str] = _SALT_ENTRY_MODULES,
+    excluded: frozenset = _SALT_CONTRACT_EXCLUDED,
+) -> Dict[str, object]:
+    """Walk the module closure of *entries* and hash every file: uncached.
+
+    The pure computation behind :func:`salt_recipe`.  The results
+    service (:mod:`repro.harness.serve`) calls this on every poll tick
+    to re-derive the closure from what is on disk *now* -- the cached
+    :func:`salt_recipe` would keep serving the boot-time tree forever.
+    *entries*/*excluded* are parameterized so tests can plant fixture
+    modules and assert exactly which import styles land in the recipe.
+    """
+    modules: Dict[str, str] = {}
+    queue = list(entries)
+    while queue:
+        name = queue.pop()
+        if name in modules or name in excluded:
+            continue
+        path = module_file(name)
+        if path is None:
+            continue
+        modules[name] = hashlib.sha256(path.read_bytes()).hexdigest()
+        queue.extend(_module_level_imports(path))
+    return {
+        "entries": sorted(entries),
+        "excluded": sorted(excluded),
+        "modules": {name: modules[name] for name in sorted(modules)},
+    }
+
+
+def recipe_salt(recipe: Dict[str, object]) -> str:
+    """The code salt for a given recipe: digest of its canonical JSON."""
+    canonical = json.dumps(recipe, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def salt_recipe(refresh: bool = False) -> Dict[str, object]:
     """What the cache salt hashes, as data (recorded in lockfiles).
 
     ``{"entries": [...], "excluded": [...], "modules": {name: sha256}}``
     -- the dependency-sliced module set a simulation point executes,
     with one content hash per module file.  Deterministic for a given
     tree; :func:`code_salt` is the digest of this recipe's canonical
-    JSON form.
+    JSON form.  Cached after the first call; ``refresh=True`` re-reads
+    the tree (the serve loop's view of "the code changed").
     """
-    global _salt_recipe
-    if _salt_recipe is None:
-        modules: Dict[str, str] = {}
-        queue = list(_SALT_ENTRY_MODULES)
-        while queue:
-            name = queue.pop()
-            if name in modules or name in _SALT_CONTRACT_EXCLUDED:
-                continue
-            path = _module_file(name)
-            if path is None:
-                continue
-            modules[name] = hashlib.sha256(path.read_bytes()).hexdigest()
-            queue.extend(_module_level_imports(path))
-        _salt_recipe = {
-            "entries": sorted(_SALT_ENTRY_MODULES),
-            "excluded": sorted(_SALT_CONTRACT_EXCLUDED),
-            "modules": {name: modules[name] for name in sorted(modules)},
-        }
+    global _salt_recipe, _code_salt
+    if _salt_recipe is None or refresh:
+        _salt_recipe = compute_salt_recipe()
+        _code_salt = None
     return _salt_recipe
 
 
-def code_salt() -> str:
+def code_salt(refresh: bool = False) -> str:
     """Hash of the source modules a simulation result depends on.
 
     Editing the simulator, the workload generator, or the scheme
@@ -180,9 +233,9 @@ def code_salt() -> str:
     :func:`salt_recipe` for exactly what is hashed.
     """
     global _code_salt
+    recipe = salt_recipe(refresh=refresh)
     if _code_salt is None:
-        canonical = json.dumps(salt_recipe(), sort_keys=True, separators=(",", ":"))
-        _code_salt = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        _code_salt = recipe_salt(recipe)
     return _code_salt
 
 
@@ -340,12 +393,43 @@ def _execute_task(task: Tuple) -> SimStats:
     return compute_point(point, checkpoint=checkpoint, key=key, backend=backend)
 
 
+class WorkerCrash(RuntimeError):
+    """A pool worker died before delivering its result (OOM-kill, segfault).
+
+    Raised by :func:`parallel_map` after the pool has been shut down
+    hard -- queued work cancelled, live workers terminated and reaped --
+    so the caller never inherits orphaned processes.  Results that
+    completed before the crash were already flushed through
+    ``on_result``.
+    """
+
+
+def _apply_chunk(fn: Callable, chunk: List) -> List:
+    """Run one unordered-path chunk inside a worker process."""
+    return [fn(task) for task in chunk]
+
+
+def _shutdown_hard(executor: ProcessPoolExecutor) -> None:
+    """Cancel queued work, terminate live workers, and reap them all."""
+    # Snapshot the worker processes first: shutdown() clears the dict.
+    procs = list((getattr(executor, "_processes", None) or {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=5.0)
+
+
 def parallel_map(
     fn: Callable,
     tasks: Sequence,
     jobs: int = 1,
     chunksize: int = 1,
     ordered: bool = True,
+    on_result: Optional[Callable[[int, object], None]] = None,
+    mp_context: Optional[str] = None,
+    always_pool: bool = False,
 ) -> List:
     """Map *fn* over *tasks*, optionally across a process pool.
 
@@ -353,13 +437,65 @@ def parallel_map(
     readable and avoids pool startup for trivial work.  ``ordered=False``
     trades result order for scheduling slack (the fault campaign
     aggregates order-insensitively).
+
+    ``on_result(index, result)`` fires as each result lands (inline and
+    pool paths alike), with *index* the task's position in *tasks* --
+    callers flush partial results through it, so an interrupt or worker
+    crash mid-batch loses only in-flight work.  The pool shuts down
+    *cleanly* on any failure: KeyboardInterrupt and worker death both
+    cancel queued futures, terminate and reap every worker process (no
+    orphans), then re-raise -- worker death as :class:`WorkerCrash`.
+
+    ``mp_context`` picks the multiprocessing start method (the serve
+    loop passes ``"spawn"`` so workers re-import freshly edited
+    simulator code instead of inheriting the parent's stale modules);
+    ``always_pool`` forces the pool path even for ``jobs=1`` for the
+    same reason.
     """
-    if jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    with multiprocessing.Pool(processes=jobs) as pool:
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if not always_pool and (jobs <= 1 or len(tasks) <= 1):
+        results = []
+        for index, task in enumerate(tasks):
+            result = fn(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+    ctx = multiprocessing.get_context(mp_context) if mp_context else None
+    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+    results: List = []
+    try:
         if ordered:
-            return pool.map(fn, tasks, chunksize=chunksize)
-        return list(pool.imap_unordered(fn, tasks, chunksize=chunksize))
+            for index, result in enumerate(
+                executor.map(fn, tasks, chunksize=chunksize)
+            ):
+                results.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+        else:
+            step = max(1, chunksize)
+            futures = {
+                executor.submit(_apply_chunk, fn, tasks[start : start + step]): start
+                for start in range(0, len(tasks), step)
+            }
+            for future in as_completed(futures):
+                start = futures[future]
+                for offset, result in enumerate(future.result()):
+                    results.append(result)
+                    if on_result is not None:
+                        on_result(start + offset, result)
+    except BaseException as exc:
+        _shutdown_hard(executor)
+        if isinstance(exc, BrokenProcessPool):
+            raise WorkerCrash(
+                f"a worker process died mid-batch ({len(results)} of "
+                f"{len(tasks)} results completed and flushed)"
+            ) from exc
+        raise
+    executor.shutdown(wait=True)
+    return results
 
 
 def resolve_points(
@@ -368,13 +504,18 @@ def resolve_points(
     jobs: int = 1,
     checkpoint: Optional[CheckpointPolicy] = None,
     backend: Optional[str] = None,
+    mp_context: Optional[str] = None,
+    always_pool: bool = False,
 ) -> Tuple[Dict[Point, SimStats], int]:
     """Serve ``(cache_key, point)`` *tasks* from *cache*, simulating
     misses over the worker pool and backfilling the cache.
 
-    The one point-execution path shared by :meth:`Engine.run` and the
-    design-space campaign driver's shards (:mod:`repro.explore`).
-    Returns ``({point: stats}, n_simulated)``.
+    The one point-execution path shared by :meth:`Engine.run`, the
+    design-space campaign driver's shards (:mod:`repro.explore`), and
+    the serve loop's dirty-delta recomputation.  Each computed result
+    is flushed into *cache* as it lands (not batched at the end), so an
+    interrupt or worker crash mid-batch keeps every completed
+    simulation.  Returns ``({point: stats}, n_simulated)``.
     """
     resolved: Dict[Point, SimStats] = {}
     misses: List[Tuple[str, Point]] = []
@@ -388,10 +529,20 @@ def resolve_points(
         work: Sequence[Tuple] = [(k, p, checkpoint, backend) for k, p in misses]
     else:
         work = misses
-    computed = parallel_map(_execute_task, work, jobs=jobs)
-    for (key, point), stats in zip(misses, computed):
+
+    def _flush(index: int, stats: SimStats) -> None:
+        key, point = misses[index]
         cache.put(key, point, stats)
         resolved[point] = stats
+
+    parallel_map(
+        _execute_task,
+        work,
+        jobs=jobs,
+        on_result=_flush,
+        mp_context=mp_context,
+        always_pool=always_pool,
+    )
     return resolved, len(misses)
 
 
@@ -490,6 +641,8 @@ class Engine:
         salt: Optional[str] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
         backend: Optional[str] = None,
+        mp_context: Optional[str] = None,
+        always_pool: bool = False,
     ) -> None:
         self.jobs = jobs
         self.cache = MemoryCache() if cache is None else cache
@@ -504,6 +657,11 @@ class Engine:
         #: compute time, never part of cache keys (results are
         #: bit-identical across backends by contract).
         self.backend = backend
+        #: Worker start method + pool forcing, for callers that must
+        #: not run simulations in this (possibly stale) process -- the
+        #: serve loop passes ``mp_context="spawn", always_pool=True``.
+        self.mp_context = mp_context
+        self.always_pool = always_pool
         self.last_run: Optional[RunInfo] = None
         #: Scheme provenance per experiment name, from the last run.
         self.provenance: Dict[str, Dict[str, object]] = {}
@@ -513,6 +671,71 @@ class Engine:
             n_insts=self.n_insts if self.n_insts is not None else spec.default_n_insts,
             seed=self.seed,
         )
+
+    # -- the composable pipeline (plan -> classify -> resolve -> reduce)
+    def plan(self, specs: Sequence[ExperimentSpec]) -> List[Tuple[str, Point]]:
+        """The deduplicated union grid as ``(cache_key, point)`` tasks.
+
+        Shared points (baselines above all) appear exactly once; keys
+        embed the engine's salt (or the current :func:`code_salt`).
+        """
+        points: Dict[Point, None] = {}
+        for spec in specs:
+            for point in spec.plan(self.context_for(spec)):
+                points.setdefault(point, None)
+        return [(point_cache_key(point, self._salt), point) for point in points]
+
+    def classify(
+        self, tasks: Sequence[Tuple[str, Point]]
+    ) -> Tuple[List[Tuple[str, Point]], List[Tuple[str, Point]]]:
+        """Split *tasks* into ``(clean, dirty)`` by cache presence.
+
+        A point is *clean* iff its content-addressed key -- point plus
+        dependency-sliced code salt -- already has a cached result;
+        everything else is *dirty* and must simulate.  This is the
+        dirtiness query the serve loop publishes per generation; it
+        never computes anything.
+        """
+        clean: List[Tuple[str, Point]] = []
+        dirty: List[Tuple[str, Point]] = []
+        for key, point in tasks:
+            (dirty if self.cache.get(key) is None else clean).append((key, point))
+        return clean, dirty
+
+    def resolve(
+        self, tasks: Sequence[Tuple[str, Point]]
+    ) -> Tuple[Dict[Point, SimStats], int]:
+        """Serve *tasks* from the cache, simulating misses over the pool."""
+        return resolve_points(
+            tasks,
+            self.cache,
+            jobs=self.jobs,
+            checkpoint=self.checkpoint,
+            backend=self.backend,
+            mp_context=self.mp_context,
+            always_pool=self.always_pool,
+        )
+
+    def reduce(
+        self,
+        specs: Sequence[ExperimentSpec],
+        resolved: Dict[Point, SimStats],
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, FigureResult]:
+        """Re-run every spec's reducer against *resolved* and validate."""
+        say = progress if progress is not None else lambda _msg: None
+        results: Dict[str, FigureResult] = {}
+        for spec in specs:
+            resolver = ResolvedResolver(self.context_for(spec), resolved)
+            result = spec.build(resolver, self.context_for(spec))
+            validate_result(spec, result)
+            results[spec.name] = result
+            self.provenance[spec.name] = {
+                name: scheme.describe()
+                for name, scheme in sorted(resolver.schemes_seen.items())
+            }
+            say(f"done: {spec.name}")
+        return results
 
     def run(
         self,
@@ -530,43 +753,23 @@ class Engine:
 
         # Phase 1: plan the union grid.
         with timer.phase("plan"):
-            points: Dict[Point, None] = {}
-            for spec in specs:
-                for point in spec.plan(self.context_for(spec)):
-                    points.setdefault(point, None)
+            tasks = self.plan(specs)
 
         # Phases 2+3: serve from the cache, fan misses out over the
         # pool, and backfill (the same path the explore campaign
         # driver's shards run through).
         with timer.phase("resolve"):
-            tasks = [(point_cache_key(point, self._salt), point) for point in points]
-            resolved, executed = resolve_points(
-                tasks,
-                self.cache,
-                jobs=self.jobs,
-                checkpoint=self.checkpoint,
-                backend=self.backend,
-            )
+            resolved, executed = self.resolve(tasks)
         info = RunInfo(
-            planned=len(points), executed=executed,
-            cached=len(points) - executed,
+            planned=len(tasks), executed=executed,
+            cached=len(tasks) - executed,
             phase_seconds=timer.seconds,
         )
         say(f"plan: {info.describe()} (jobs={self.jobs})")
 
         # Phase 4: reduce every experiment and check its shape.
-        results: Dict[str, FigureResult] = {}
         with timer.phase("reduce"):
-            for spec in specs:
-                resolver = ResolvedResolver(self.context_for(spec), resolved)
-                result = spec.build(resolver, self.context_for(spec))
-                validate_result(spec, result)
-                results[spec.name] = result
-                self.provenance[spec.name] = {
-                    name: scheme.describe()
-                    for name, scheme in sorted(resolver.schemes_seen.items())
-                }
-                say(f"done: {spec.name}")
+            results = self.reduce(specs, resolved, progress=say)
         say(f"phases: {info.describe_phases()}")
         self.last_run = info
         return results

@@ -1,0 +1,167 @@
+"""Follow a serve daemon's generation ledger: ``repro.harness subscribe``.
+
+The serving side (:mod:`repro.harness.serve`) appends one canonical-JSON
+line per generation to ``<out>/generations.jsonl`` and atomically
+rewrites ``<out>/status.json``.  Subscribers therefore never poll for
+*results* -- they tail the monotonically numbered ledger and read each
+delta exactly once:
+
+* :func:`read_entries` parses the ledger, skipping a torn trailing line
+  (the daemon appends with a single buffered write + flush, but a
+  subscriber can still catch the file mid-append on some filesystems).
+* :func:`follow` yields entries with ``generation > after`` forever (or
+  until ``max_entries``), sleeping ``interval`` between polls of the
+  file size.  Because generations are monotone, a second subscriber --
+  or a second ``serve`` instance in another checkout sharing the cache
+  directory -- can resume from any generation number without races.
+
+CLI::
+
+    python -m repro.harness subscribe serve-out            # follow live
+    python -m repro.harness subscribe serve-out --from 0   # full history
+    python -m repro.harness subscribe serve-out --max 3    # bounded (CI)
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+LEDGER_NAME = "generations.jsonl"
+
+
+def ledger_path(out_dir: str) -> Path:
+    path = Path(out_dir)
+    return path if path.suffix == ".jsonl" else path / LEDGER_NAME
+
+
+def read_entries(path: Path) -> List[Dict[str, object]]:
+    """Every complete ledger entry, in file order.
+
+    A torn final line (no trailing newline yet, or half-written JSON)
+    is skipped, not an error: the writer will complete it and the next
+    read picks it up.  A malformed *interior* line is corruption and
+    raises.
+    """
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return []
+    lines = text.split("\n")
+    complete, last = lines[:-1], lines[-1]
+    entries: List[Dict[str, object]] = []
+    for i, line in enumerate(complete):
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(complete) - 1 and not last:
+                break  # torn final record mid-write
+            raise ValueError(f"corrupt ledger line {i + 1} in {path}") from None
+    return entries
+
+
+def follow(
+    out_dir: str,
+    after: int = -1,
+    interval: float = 0.5,
+    max_entries: Optional[int] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield ledger entries with ``generation > after``, oldest first."""
+    path = ledger_path(out_dir)
+    seen = after
+    yielded = 0
+    while max_entries is None or yielded < max_entries:
+        fresh = [
+            e for e in read_entries(path)
+            if isinstance(e.get("generation"), int) and e["generation"] > seen
+        ]
+        for entry in sorted(fresh, key=lambda e: e["generation"]):
+            if max_entries is not None and yielded >= max_entries:
+                return
+            seen = max(seen, int(entry["generation"]))
+            yielded += 1
+            yield entry
+        if not fresh:
+            time.sleep(interval)
+
+
+def format_entry(entry: Dict[str, object]) -> str:
+    """One human line per generation, mirroring the ledger's key fields."""
+    changed = entry.get("changed_modules") or []
+    phases = entry.get("phase_seconds") or {}
+    wall = sum(v for v in phases.values() if isinstance(v, (int, float)))
+    return (
+        f"gen {entry.get('generation')} [{entry.get('reason')}] "
+        f"salt={entry.get('salt')} "
+        f"dirty={entry.get('dirty')}/{entry.get('planned')} "
+        f"clean={entry.get('clean')} "
+        f"hit={entry.get('cache_hit_rate')} "
+        f"wall={wall:.2f}s "
+        f"digest={entry.get('artifacts_digest')}"
+        + (f" changed={','.join(str(m) for m in changed)}" if changed else "")
+    )
+
+
+def build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness subscribe",
+        description="Follow a serve daemon's generation ledger.",
+    )
+    parser.add_argument(
+        "out_dir", metavar="DIR",
+        help="the daemon's --out directory (holding generations.jsonl)",
+    )
+    parser.add_argument(
+        "--from", dest="after", type=int, default=None, metavar="GEN",
+        help="replay starting after generation GEN (default: live tail "
+        "-- only generations produced from now on)",
+    )
+    parser.add_argument(
+        "--max", dest="max_entries", type=int, default=None, metavar="N",
+        help="exit after printing N generations (default: follow forever)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.5, metavar="SEC",
+        help="ledger polling interval (default: 0.5)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print raw canonical-JSON ledger lines instead of summaries",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    if args.after is not None:
+        after = args.after
+    else:
+        entries = read_entries(ledger_path(args.out_dir))
+        after = max((int(e.get("generation", -1)) for e in entries), default=-1)
+    try:
+        for entry in follow(
+            args.out_dir,
+            after=after,
+            interval=args.interval,
+            max_entries=args.max_entries,
+        ):
+            if args.json:
+                print(
+                    json.dumps(entry, sort_keys=True, separators=(",", ":")),
+                    flush=True,
+                )
+            else:
+                print(format_entry(entry), flush=True)
+    except KeyboardInterrupt:
+        raise SystemExit(130)
+
+
+if __name__ == "__main__":
+    main()

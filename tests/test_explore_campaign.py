@@ -231,3 +231,61 @@ class TestCli:
         assert first.startswith("# EXPERIMENTS")
         main(args)
         assert Path("EXPERIMENTS.md").read_text() == first
+
+
+class TestAtomicTempNames:
+    """Shard/lockfile temp files must be pid-suffixed (issue 10).
+
+    A serve daemon and a manual campaign sharing a directory would
+    otherwise write the *same* ``.tmp`` path and tear or cross-publish
+    each other's files; ``engine.ResultCache.put`` already pid-suffixes
+    and these writers must match.
+    """
+
+    def test_every_temp_publish_is_pid_suffixed(self, tmp_path, cache, monkeypatch):
+        import os
+
+        recorded = []
+        real_replace = Path.replace
+
+        def spy(self, target):
+            recorded.append(self.name)
+            return real_replace(self, target)
+
+        monkeypatch.setattr(Path, "replace", spy)
+        _run(tmp_path, cache, shard_size=4)
+        tmps = [name for name in recorded if ".tmp" in name]
+        # 3 shards + the lockfile all publish through temp renames.
+        assert len(tmps) >= 4
+        suffix = f".tmp.{os.getpid()}"
+        assert all(name.endswith(suffix) for name in tmps), tmps
+
+    def test_two_pids_would_not_collide(self, tmp_path, cache):
+        import os
+
+        from repro.explore.lockfile import Lockfile
+
+        result = _run(tmp_path, cache)
+        lock = Lockfile.load(result.campaign_dir / "lockfile.json")
+        target = tmp_path / "x" / "lockfile.json"
+        lock.save(target)
+        # The name this process used is unique to its pid, so a
+        # concurrent writer (different pid) uses a different one.
+        used = target.with_suffix(f".tmp.{os.getpid()}")
+        other = target.with_suffix(".tmp.99999999")
+        assert used != other
+        assert not used.exists()  # renamed away, not left behind
+
+
+class TestCampaignMeta:
+    def test_meta_lands_in_lockfile_unlocked(self, tmp_path, cache):
+        from repro.explore.lockfile import Lockfile
+
+        meta = {"live_server": {"out_dir": "serve-out", "generation": 3}}
+        result = _run(tmp_path, cache, name="m1", meta=meta)
+        lock = Lockfile.load(result.campaign_dir / "lockfile.json")
+        assert lock.meta == meta
+        # meta is provenance-for-humans, not locked: the same campaign
+        # without it produces the same results digest.
+        plain = _run(tmp_path, cache, name="m2")
+        assert plain.lockfile.results_digest == result.lockfile.results_digest

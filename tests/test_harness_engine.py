@@ -269,3 +269,186 @@ class TestSaltRecipe:
         for name, digest in salt_recipe()["modules"].items():
             path = root / Path(*name.split(".")).with_suffix(".py")
             assert digest == hashlib.sha256(path.read_bytes()).hexdigest(), name
+
+
+# ----------------------------------------------------------------------
+# Salt closure vs. import styles (issue 10 satellite): the AST walk
+# must include every *runtime* import and exclude type-checking-only
+# and lazy ones, proven against planted fixture modules.
+# ----------------------------------------------------------------------
+_FX_ENTRY = '''\
+"""Fixture entry module exercising every import style the walk handles."""
+import typing
+from typing import TYPE_CHECKING
+
+import repro.fx_plain
+from repro import fx_from
+from repro.fx_pkg.mod import thing
+
+try:
+    import repro.fx_optional
+except ImportError:
+    import repro.fx_fallback
+
+if TYPE_CHECKING:
+    import repro.fx_typeonly
+else:
+    import repro.fx_else
+
+if typing.TYPE_CHECKING:
+    import repro.fx_typing_attr
+
+
+def lazy():
+    import repro.fx_lazy
+
+    return repro.fx_lazy
+'''
+
+
+@pytest.fixture
+def fixture_tree(tmp_path, monkeypatch):
+    """A fake src root with one entry module and its planted imports."""
+    import repro.harness.engine as engine_mod
+
+    pkg = tmp_path / "repro"
+    (pkg / "fx_pkg").mkdir(parents=True)
+    (pkg / "fx_entry.py").write_text(_FX_ENTRY)
+    (pkg / "fx_pkg" / "__init__.py").write_text("")
+    (pkg / "fx_pkg" / "mod.py").write_text("thing = 1\n")
+    for name in (
+        "fx_plain", "fx_from", "fx_optional", "fx_fallback",
+        "fx_else", "fx_typeonly", "fx_typing_attr", "fx_lazy",
+    ):
+        (pkg / f"{name}.py").write_text(f"VALUE = {name!r}\n")
+    monkeypatch.setattr(engine_mod, "_src_root", lambda: tmp_path)
+    return pkg
+
+
+class TestSaltImportStyles:
+    ENTRIES = ("repro.fx_entry",)
+
+    def _recipe(self, excluded=frozenset()):
+        from repro.harness.engine import compute_salt_recipe
+
+        return compute_salt_recipe(entries=self.ENTRIES, excluded=excluded)
+
+    def test_runtime_imports_all_land_in_the_recipe(self, fixture_tree):
+        modules = set(self._recipe()["modules"])
+        assert modules == {
+            "repro.fx_entry",
+            "repro.fx_plain",          # plain `import repro.x`
+            "repro.fx_from",           # `from repro import x` (x is a module)
+            "repro.fx_pkg.mod",        # `from repro.pkg.mod import name`
+            "repro.fx_optional",       # `try: import x` body
+            "repro.fx_fallback",       # `except ImportError:` arm
+            "repro.fx_else",           # else-branch of a TYPE_CHECKING gate
+        }
+
+    def test_type_checking_and_lazy_imports_stay_out(self, fixture_tree):
+        modules = set(self._recipe()["modules"])
+        # Never executes at runtime: hashing these would invalidate
+        # caches for edits no simulation can observe.
+        assert "repro.fx_typeonly" not in modules      # if TYPE_CHECKING:
+        assert "repro.fx_typing_attr" not in modules   # if typing.TYPE_CHECKING:
+        assert "repro.fx_lazy" not in modules          # function-level import
+
+    def test_try_except_import_is_a_real_dependency(self, fixture_tree):
+        """Editing an optional-import module must change the salt."""
+        from repro.harness.engine import recipe_salt
+
+        before = recipe_salt(self._recipe())
+        with open(fixture_tree / "fx_optional.py", "a") as fh:
+            fh.write("# edited\n")
+        assert recipe_salt(self._recipe()) != before
+
+    def test_excluded_modules_never_enter_the_closure(self, fixture_tree):
+        from repro.harness.engine import recipe_salt
+
+        excluded = frozenset({"repro.fx_plain"})
+        recipe = self._recipe(excluded=excluded)
+        assert "repro.fx_plain" not in recipe["modules"]
+        assert recipe["excluded"] == ["repro.fx_plain"]
+        before = recipe_salt(recipe)
+        with open(fixture_tree / "fx_plain.py", "a") as fh:
+            fh.write("# edited\n")
+        assert recipe_salt(self._recipe(excluded=excluded)) == before
+
+
+# ----------------------------------------------------------------------
+# parallel_map shutdown semantics (issue 10 satellite): worker death
+# and KeyboardInterrupt must reap every worker and keep flushed results.
+# ----------------------------------------------------------------------
+def _die_or_echo(task):
+    import os as _os
+    import signal as _signal
+    import time as _time
+
+    if task == "die":
+        _time.sleep(1.0)  # let the other worker finish + flush first
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    return task
+
+
+def _interrupt_or_echo(task):
+    import time as _time
+
+    if task == "boom":
+        _time.sleep(1.0)
+        raise KeyboardInterrupt
+    return task
+
+
+def _live_children():
+    import multiprocessing
+
+    return {p for p in multiprocessing.active_children() if p.is_alive()}
+
+
+class TestParallelMapShutdown:
+    def test_worker_death_raises_and_keeps_flushed_results(self):
+        from repro.harness.engine import WorkerCrash
+
+        baseline = _live_children()
+        flushed = {}
+        tasks = ["die", "a", "b", "c", "d"]
+        with pytest.raises(WorkerCrash, match="worker process died"):
+            parallel_map(
+                _die_or_echo, tasks, jobs=2, ordered=False,
+                on_result=lambda i, r: flushed.__setitem__(i, r),
+            )
+        # Partial results were streamed out before the crash...
+        assert set(flushed.values()) == {"a", "b", "c", "d"}
+        assert all(tasks[i] == r for i, r in flushed.items())
+        # ...and no worker process outlives the call.
+        assert _live_children() <= baseline
+
+    def test_keyboard_interrupt_reaps_workers(self):
+        baseline = _live_children()
+        flushed = {}
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(
+                _interrupt_or_echo, ["boom", "a", "b", "c"], jobs=2,
+                ordered=False,
+                on_result=lambda i, r: flushed.__setitem__(i, r),
+            )
+        assert set(flushed.values()) == {"a", "b", "c"}
+        assert _live_children() <= baseline
+
+    def test_always_pool_forces_out_of_process_execution(self):
+        # jobs=1 + a single task normally runs inline; always_pool is
+        # how the serve loop guarantees fresh-code workers.
+        assert parallel_map(_worker_pid, [0], jobs=1) == [__import__("os").getpid()]
+        (other,) = parallel_map(
+            _worker_pid, [0], jobs=1, always_pool=True, mp_context="spawn"
+        )
+        assert other != __import__("os").getpid()
+
+    def test_empty_task_list_never_spins_a_pool(self):
+        assert parallel_map(_square, [], jobs=4, always_pool=True) == []
+
+
+def _worker_pid(_task):
+    import os as _os
+
+    return _os.getpid()
